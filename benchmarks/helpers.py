@@ -1,0 +1,41 @@
+"""Shared scaffolding for the paper-reproduction benches.
+
+Every bench reproduces one table or figure from the paper's evaluation
+(§5, §6.2).  Absolute numbers differ from the paper's testbed; the *shape*
+is asserted and both the paper's values and ours are written to
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_RUNS`` — runs per fault type for the tables (default 6; the
+  paper used 200+ per type);
+* ``REPRO_FULL=1`` — run the full figure sweeps (up to 128 nodes and the
+  paper's memory sizes); several minutes of wall time.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def runs_per_type(default=6):
+    return int(os.environ.get("REPRO_RUNS", default))
+
+
+def full_sweeps():
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def save_result(name, text):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % name)
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Ablation (§4.3) — deferred BFT computation via hints.
+
+Paper: "If every node computes the BFT as soon as its knowledge about the
+state of the system has stabilized, BFT computations on neighboring nodes
+will be chained during consecutive rounds instead of proceeding in
+parallel.  To avoid the serialization of those computations ... nodes that
+receive a hint defer their BFT computation until the end of the
+dissemination phase, when all the deferred computations occur in parallel."
+
+We measure P2 duration with and without the hint mechanism.
+"""
+
+from benchmarks.helpers import once, save_result
+from repro.analysis.tables import format_table
+from repro.core.experiment import run_recovery_scalability
+
+NODES = 32
+
+
+def dissemination_time(hints):
+    report = run_recovery_scalability(
+        NODES, mem_per_node=1 << 17, l2_size=1 << 14,
+        config_overrides={"bft_hints": hints})
+    return (report.phase_duration_from_trigger("P2")
+            - report.phase_duration_from_trigger("P1"))
+
+
+def run_measurements():
+    return dissemination_time(True), dissemination_time(False)
+
+
+def test_ablation_bft_hints(benchmark):
+    with_hints, without = once(benchmark, run_measurements)
+
+    text = format_table(
+        "Ablation — BFT hint deferral (%d nodes)" % NODES,
+        ["variant", "dissemination (P2) [ms]"],
+        [
+            ("hints ON (deferred BFT)", "%.2f" % (with_hints / 1e6)),
+            ("hints OFF (eager BFT)", "%.2f" % (without / 1e6)),
+        ])
+    save_result("ablation_bft_hints", text)
+
+    # Without hints every node computes the BFT eagerly inside its round
+    # loop, stretching the phase.
+    assert with_hints <= without * 1.02

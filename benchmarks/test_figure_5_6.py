@@ -1,0 +1,88 @@
+"""Figure 5.6 — cache coherence protocol recovery times (paper §5.3).
+
+Paper (4 nodes): the cache-flush/writeback step (WB) scales linearly with
+the second-level cache size (0.5-4 MB sweep at 4 MB/node), and the
+directory reset part of P4 scales linearly with the amount of memory per
+node (1-64 MB sweep at 1 MB L2).
+
+Shape assertions: both series are increasing and close to linear (the
+ratio of endpoint slopes stays near 1).
+"""
+
+from benchmarks.helpers import full_sweeps, once, save_result
+from repro.analysis.tables import format_series, shape_check_monotone
+from repro.core.experiment import run_recovery_scalability
+from repro.faults.models import FaultSpec
+
+NODES = 4
+
+
+def l2_sweep_sizes():
+    if full_sweeps():
+        return [1 << 19, 1 << 20, 1 << 21, 1 << 22]       # 0.5-4 MB (paper)
+    return [1 << 16, 1 << 17, 1 << 18, 1 << 19]           # scaled 1/8
+
+
+def mem_sweep_sizes():
+    if full_sweeps():
+        return [1 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20]   # paper
+    return [1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21]          # scaled
+
+
+def measure(mem_per_node, l2_size):
+    report = run_recovery_scalability(
+        NODES, mem_per_node=mem_per_node, l2_size=l2_size,
+        fault=FaultSpec.node_failure(NODES - 1), fill_fraction=0.4)
+    p4 = report.phase_durations.get("P4", 0.0)
+    wb = report.wb_duration
+    return wb, p4
+
+
+def run_sweeps():
+    l2_points = []
+    for l2_size in l2_sweep_sizes():
+        wb, p4 = measure(mem_per_node=max(4 * l2_size, 1 << 18),
+                         l2_size=l2_size)
+        l2_points.append((l2_size, wb, p4))
+    mem_points = []
+    for mem in mem_sweep_sizes():
+        wb, p4 = measure(mem_per_node=mem, l2_size=1 << 16)
+        mem_points.append((mem, wb, p4))
+    return l2_points, mem_points
+
+
+def test_figure_5_6(benchmark):
+    l2_points, mem_points = once(benchmark, run_sweeps)
+
+    text = format_series(
+        "Figure 5.6 (left) — flush/WB time vs. L2 size (%d nodes)" % NODES,
+        "L2 [KB]", ["WB [ms]", "P4 [ms]"],
+        [(size >> 10, "%.2f" % (wb / 1e6), "%.2f" % (p4 / 1e6))
+         for size, wb, p4 in l2_points])
+    text += "\n\n" + format_series(
+        "Figure 5.6 (right) — P4 time vs. memory per node "
+        "(%d nodes, 64 KB L2)" % NODES,
+        "mem/node [KB]", ["WB [ms]", "P4 [ms]"],
+        [(size >> 10, "%.2f" % (wb / 1e6), "%.2f" % (p4 / 1e6))
+         for size, wb, p4 in mem_points])
+    text += ("\n\nPaper shape: WB linear in L2 size; the directory-reset "
+             "part of P4 linear in memory per node.")
+    save_result("figure_5_6", text)
+
+    # WB grows linearly with L2 size.
+    wb_values = [wb for _, wb, _ in l2_points]
+    assert shape_check_monotone(wb_values)
+    first_slope = wb_values[1] / wb_values[0]
+    size_ratio = l2_sweep_sizes()[1] / l2_sweep_sizes()[0]
+    assert 0.6 * size_ratio <= first_slope <= 1.4 * size_ratio
+
+    # P4 grows linearly with memory per node.
+    p4_values = [p4 for _, _, p4 in mem_points]
+    assert shape_check_monotone(p4_values)
+    mem_sizes = mem_sweep_sizes()
+    big_ratio = mem_sizes[-1] / mem_sizes[0]
+    # Subtract the L2-dependent floor (constant across the sweep) before
+    # checking linearity in the memory term.
+    floor = p4_values[0] - (p4_values[-1] - p4_values[0]) / (big_ratio - 1)
+    grow = (p4_values[-1] - floor) / (p4_values[0] - floor)
+    assert 0.5 * big_ratio <= grow <= 1.6 * big_ratio

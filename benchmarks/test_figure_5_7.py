@@ -1,0 +1,66 @@
+"""Figure 5.7 — end-to-end recovery times (paper §5.3).
+
+Paper: applications that continue running after a fault are suspended for
+the duration of hardware recovery (HW) plus Hive's OS recovery (HW+OS),
+measured at 2-16 nodes with one Hive cell per node (16 MB/node, 1 MB L2).
+OS recovery scales with the number of cells rather than nodes.
+
+Shape assertions: HW < HW+OS everywhere; both grow with node count; the OS
+part grows roughly linearly with cell count.
+"""
+
+from benchmarks.helpers import full_sweeps, once, save_result
+from repro.analysis.tables import format_series, shape_check_monotone
+from repro.faults.models import FaultSpec
+from repro.hive.endtoend import run_end_to_end_experiment
+from repro.hive.os import HiveConfig
+
+
+def sweep_sizes():
+    return [2, 4, 8, 16]
+
+
+def measure(cells):
+    mem = (16 << 20) if full_sweeps() else (1 << 18)
+    l2 = (1 << 20) if full_sweeps() else (1 << 14)
+    config = HiveConfig(cells=cells, nodes_per_cell=1, seed=1000 + cells,
+                        mem_per_node=mem, l2_size=l2)
+    fault = FaultSpec.node_failure(cells - 1)
+    result = run_end_to_end_experiment(fault, hive_config=config,
+                                       inject_delay=1_500_000.0)
+    return result.hw_recovery_ns, result.os_recovery_ns
+
+
+def run_sweep():
+    return {cells: measure(cells) for cells in sweep_sizes()}
+
+
+def test_figure_5_7(benchmark):
+    data = once(benchmark, run_sweep)
+
+    rows = [
+        (cells, "%.2f" % (hw / 1e6), "%.2f" % ((hw + os) / 1e6))
+        for cells, (hw, os) in sorted(data.items())
+    ]
+    text = format_series(
+        "Figure 5.7 — end-to-end recovery times "
+        "(1 Hive cell/node)",
+        "nodes", ["HW [ms]", "HW+OS [ms]"], rows)
+    text += ("\n\nPaper shape: user processes are suspended for HW then OS "
+             "recovery; OS recovery scales with cells, not nodes.")
+    save_result("figure_5_7", text)
+
+    sizes = sorted(data)
+    for cells in sizes:
+        hw, os = data[cells]
+        assert hw > 0 and os > 0
+
+    hw_series = [data[c][0] for c in sizes]
+    total_series = [data[c][0] + data[c][1] for c in sizes]
+    assert shape_check_monotone(hw_series, tolerance=0.15)
+    assert shape_check_monotone(total_series, tolerance=0.10)
+
+    # OS recovery cost is linear in the number of surviving cells.
+    os_small = data[sizes[0]][1]
+    os_large = data[sizes[-1]][1]
+    assert os_large > os_small

@@ -1,0 +1,75 @@
+"""Table 5.3 — validation experiments (paper §5.2).
+
+Paper: 200 runs per fault type, 0 failed experiments, for node failure,
+router failure, link failure, infinite loop, and false alarm.
+
+This bench runs ``REPRO_RUNS`` runs per type (scaled down by default) of
+the same methodology — random shared/exclusive cache fill, injection,
+recovery, full-memory check against the simulator oracle — and asserts the
+paper's headline result: **zero failed experiments**.
+"""
+
+from benchmarks.helpers import once, runs_per_type, save_result
+from repro.analysis.tables import format_table
+from repro.core.config import MachineConfig
+from repro.core.experiment import run_validation_experiment
+from repro.faults.models import FaultSpec, FaultType
+
+
+def bench_config(seed):
+    return MachineConfig(num_nodes=8, mem_per_node=1 << 16,
+                         l2_size=1 << 13, seed=seed)
+
+
+def random_fault(rng, fault_type, topology):
+    return FaultSpec.random(rng, topology, fault_type)
+
+
+def run_batch():
+    import random
+    runs = runs_per_type()
+    rng = random.Random(533)
+    rows = []
+    failures_by_type = {}
+    all_problems = []
+    for fault_type in FaultType:
+        failed = 0
+        for run_index in range(runs):
+            seed = rng.randrange(1 << 30)
+            config = bench_config(seed)
+            # Build a topology stand-in to draw a random target from.
+            from repro.interconnect.topology import make_topology
+            topology = make_topology(config.topology, config.num_nodes)
+            fault = random_fault(rng, fault_type, topology)
+            result = run_validation_experiment(fault, config=config,
+                                               seed=seed)
+            if not result.passed:
+                failed += 1
+                all_problems.append((fault, result.problems[:3]))
+        failures_by_type[fault_type] = (runs, failed)
+        rows.append((fault_type.value, runs, failed))
+    return rows, failures_by_type, all_problems
+
+
+def test_table_5_3(benchmark):
+    rows, failures_by_type, problems = once(benchmark, run_batch)
+
+    paper = [("Node failure", 200, 0), ("Router failure", 200, 0),
+             ("Link failure", 200, 0), ("Infinite loop in MAGIC", 200, 0),
+             ("False alarm", 200, 0)]
+    text = format_table(
+        "Table 5.3 — Validation experiments (reproduction)",
+        ["Injected fault type", "# of experiments", "# of failed"],
+        rows)
+    text += "\n\n" + format_table(
+        "Paper (Table 5.3)",
+        ["Injected fault type", "# of experiments", "# of failed"],
+        paper)
+    if problems:
+        text += "\n\nFailures:\n" + "\n".join(
+            "  %s: %s" % (fault, probs) for fault, probs in problems)
+    save_result("table_5_3", text)
+
+    # The paper's headline: no validation run fails.
+    for fault_type, (runs, failed) in failures_by_type.items():
+        assert failed == 0, (fault_type, problems)

@@ -1,0 +1,90 @@
+"""Table 5.4 — end-to-end recovery experiments (paper §5.2).
+
+Paper: 1187 runs of parallel make on 8-cell Hive with injected faults;
+  node failure   310 runs / 29 failed
+  router failure 215 runs / 20 failed
+  infinite loop  394 runs / 28 failed
+  link failure   268 runs / 22 failed
+  total 99 failed (8.4%); "91.6% of the runs correctly finished executing
+  the compiles that were not affected by the fault"; all failures were OS
+  bugs on incoherent lines, not incorrect hardware recovery.
+
+This bench keeps the paper's run-count proportions (scaled by REPRO_RUNS)
+and runs with the Hive-bug emulation on; asserting the shape: hardware
+recovery always completes, a large majority of runs succeed, and the
+failures that do occur are OS-bug cell crashes.
+"""
+
+import random
+
+from benchmarks.helpers import once, runs_per_type, save_result
+from repro.analysis.tables import format_table
+from repro.faults.models import FaultSpec, FaultType
+from repro.hive.endtoend import run_end_to_end_experiment
+from repro.hive.os import HiveConfig
+
+#: run-count proportions from the paper's Table 5.4 (per REPRO_RUNS unit)
+PAPER_MIX = [
+    (FaultType.NODE_FAILURE, 310),
+    (FaultType.ROUTER_FAILURE, 215),
+    (FaultType.LINK_FAILURE, 268),
+    (FaultType.INFINITE_LOOP, 394),
+]
+
+BUG_RATE = 0.2    # calibrated so the failed-run fraction lands near the paper's 8%
+
+
+def run_batch():
+    scale = runs_per_type() / 6.0
+    rng = random.Random(54)
+    rows = []
+    hw_failures = 0
+    total = 0
+    total_failed = 0
+    for fault_type, paper_runs in PAPER_MIX:
+        runs = max(2, round(paper_runs / 310 * 10 * scale))
+        failed = 0
+        for _ in range(runs):
+            seed = rng.randrange(1 << 30)
+            config = HiveConfig(seed=seed,
+                                os_incoherent_bug_rate=BUG_RATE)
+            from repro.interconnect.topology import make_topology
+            topology = make_topology("mesh", config.num_nodes)
+            fault = FaultSpec.random(rng, topology, fault_type)
+            delay = rng.uniform(1_000_000.0, 5_000_000.0)
+            result = run_end_to_end_experiment(
+                fault, hive_config=config, inject_delay=delay, seed=seed)
+            if not result.recovered:
+                hw_failures += 1
+            if result.failed:
+                failed += 1
+        rows.append((fault_type.value, runs, failed))
+        total += runs
+        total_failed += failed
+    rows.append(("Total", total, total_failed))
+    return rows, hw_failures, total, total_failed
+
+
+def test_table_5_4(benchmark):
+    rows, hw_failures, total, total_failed = once(benchmark, run_batch)
+
+    paper = [("Node failure", 310, 29), ("Router failure", 215, 20),
+             ("Link failure", 268, 22), ("Infinite loop in MAGIC", 394, 28),
+             ("Total", 1187, 99)]
+    text = format_table(
+        "Table 5.4 — End-to-end recovery experiments (reproduction, "
+        "Hive-bug emulation rate %.2f)" % BUG_RATE,
+        ["Injected fault type", "# of experiments", "# of failed"],
+        rows)
+    text += "\nfailed-run fraction: %.1f%% (paper: 8.4%%)" % (
+        100.0 * total_failed / total)
+    text += "\n\n" + format_table(
+        "Paper (Table 5.4)",
+        ["Injected fault type", "# of experiments", "# of failed"],
+        paper)
+    save_result("table_5_4", text)
+
+    # Shape: hardware recovery always ran; failures are a small minority
+    # (the paper's 8.4% — OS bugs, not hardware recovery).
+    assert hw_failures == 0
+    assert total_failed / total < 0.35

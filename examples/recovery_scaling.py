@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Recovery-time scaling across machine sizes (paper Figure 5.5, mini).
+
+Sweeps mesh machines of increasing size, injecting a node failure into
+each and reporting the cumulative time through each recovery phase.
+
+Run:  python examples/recovery_scaling.py [max_nodes]
+"""
+
+import sys
+
+from repro.analysis.tables import format_series
+from repro.core.experiment import run_recovery_scalability
+
+
+def main(max_nodes=32):
+    sizes = [n for n in (2, 4, 8, 16, 32, 64, 128) if n <= max_nodes]
+    rows = []
+    for num_nodes in sizes:
+        report = run_recovery_scalability(
+            num_nodes, mem_per_node=1 << 18, l2_size=1 << 16)
+        rows.append((
+            num_nodes,
+            "%.2f" % (report.phase_duration_from_trigger("P1") / 1e6),
+            "%.2f" % (report.phase_duration_from_trigger("P2") / 1e6),
+            "%.2f" % (report.phase_duration_from_trigger("P3") / 1e6),
+            "%.2f" % (report.total_duration / 1e6),
+            max(report.agent_rounds.values()),
+        ))
+        print("measured %d nodes: total %.2f ms"
+              % (num_nodes, report.total_duration / 1e6))
+
+    print()
+    print(format_series(
+        "Hardware recovery scaling (mesh, 256 KB/node, 64 KB L2)",
+        "nodes",
+        ["P1 [ms]", "P1,2 [ms]", "P1,2,3 [ms]", "total [ms]",
+         "P2 rounds"],
+        rows))
+    print()
+    print("Paper (Figure 5.5): dissemination (P2) dominates at scale, "
+          "growing with the interconnect diameter.")
+
+
+if __name__ == "__main__":
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    main(limit)

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose setuptools cannot do PEP 660 editable
+installs (pip install -e . --no-use-pep517 falls back to this)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "Hardware Fault Containment in Scalable
+Shared-Memory Multiprocessors" (Teodosiu et al., ISCA 1997).
+
+The package simulates the Stanford FLASH multiprocessor — MAGIC node
+controllers, a directory cache-coherence protocol, and a CrayLink-style
+interconnect — extended with the paper's fault-containment features and its
+four-phase distributed recovery algorithm, plus a Hive-style cellular
+operating system model for end-to-end experiments.
+
+Quickstart::
+
+    from repro import FlashMachine, MachineConfig, FaultSpec
+
+    machine = FlashMachine(MachineConfig(num_nodes=8)).start()
+    machine.injector.inject(FaultSpec.node_failure(3))
+    report = machine.run_until_recovered()
+    print(report.total_duration, "ns of recovery")
+"""
+
+from repro.common.errors import BusError, ConfigurationError, ReproError
+from repro.common.params import TimingParams
+from repro.core.config import MachineConfig
+from repro.core.machine import FlashMachine
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.oracle import Oracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusError",
+    "ConfigurationError",
+    "FaultSpec",
+    "FaultType",
+    "FlashMachine",
+    "MachineConfig",
+    "Oracle",
+    "ReproError",
+    "TimingParams",
+    "__version__",
+]

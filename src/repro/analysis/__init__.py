@@ -1,0 +1,9 @@
+"""Result formatting for the paper-reproduction benches."""
+
+from repro.analysis.tables import (
+    format_series,
+    format_table,
+    shape_check_monotone,
+)
+
+__all__ = ["format_series", "format_table", "shape_check_monotone"]

@@ -1,0 +1,42 @@
+"""Small helpers for printing paper-style tables and figure series."""
+
+
+def format_table(title, headers, rows):
+    """Render a fixed-width table like the paper's (returns a string)."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(str(row[index])))
+    lines = [title]
+    lines.append("  ".join(
+        str(header).ljust(widths[index])
+        for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(columns)))
+    for row in rows:
+        lines.append("  ".join(
+            str(cell).ljust(widths[index])
+            for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title, x_label, y_labels, points):
+    """Render a figure as a data-series table.
+
+    ``points`` is a list of tuples ``(x, y1, y2, ...)`` matching
+    ``y_labels``.
+    """
+    headers = [x_label] + list(y_labels)
+    return format_table(title, headers, points)
+
+
+def shape_check_monotone(values, tolerance=0.0):
+    """True when the sequence is (approximately) non-decreasing.
+
+    ``tolerance`` allows small dips as a fraction of the previous value —
+    figure *shapes* are being checked, not exact numbers.
+    """
+    for previous, current in zip(values, values[1:]):
+        if current < previous * (1.0 - tolerance):
+            return False
+    return True

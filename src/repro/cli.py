@@ -1,0 +1,149 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Usage::
+
+    python -m repro.cli validate --fault node_failure --target 3
+    python -m repro.cli endtoend --fault infinite_loop --target 5
+    python -m repro.cli scale --nodes 2 8 16 32 --topology mesh
+"""
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import MachineConfig
+from repro.core.experiment import (
+    run_recovery_scalability,
+    run_validation_experiment,
+)
+from repro.faults.models import FaultSpec, FaultType
+
+
+def _fault_from_args(args):
+    fault_type = FaultType(args.fault)
+    if fault_type == FaultType.LINK_FAILURE:
+        if args.target2 is None:
+            raise SystemExit("link_failure needs --target and --target2")
+        return FaultSpec.link_failure(args.target, args.target2)
+    return FaultSpec(fault_type, args.target)
+
+
+def cmd_validate(args):
+    config = MachineConfig(
+        num_nodes=args.nodes_count, mem_per_node=args.mem_kb << 10,
+        l2_size=args.l2_kb << 10, seed=args.seed)
+    result = run_validation_experiment(
+        _fault_from_args(args), config=config, seed=args.seed)
+    print(result)
+    for problem in result.problems:
+        print("  !", problem)
+    report = result.recovery_report
+    print("recovery: %.2f ms, survivors %s, %d lines marked incoherent"
+          % (report.total_duration / 1e6,
+             sorted(report.available_nodes), report.marked_incoherent))
+    return 0 if result.passed else 1
+
+
+def cmd_endtoend(args):
+    from repro.hive.endtoend import run_end_to_end_experiment
+    from repro.hive.os import HiveConfig
+    config = HiveConfig(
+        cells=args.nodes_count, seed=args.seed,
+        mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
+        os_incoherent_bug_rate=args.bug_rate)
+    result = run_end_to_end_experiment(
+        _fault_from_args(args), hive_config=config)
+    print(format_table(
+        "End-to-end run: %s" % _fault_from_args(args),
+        ["metric", "value"],
+        [
+            ("hardware recovered", result.recovered),
+            ("OS recovered", result.os_recovered),
+            ("compiles expected to survive", result.compiles_expected),
+            ("compiles correct", result.compiles_correct),
+            ("run failed", result.failed),
+            ("failure reason", result.failure_reason or "-"),
+            ("HW recovery [ms]", "%.2f" % (result.hw_recovery_ns / 1e6)),
+            ("OS recovery [ms]", "%.2f" % (result.os_recovery_ns / 1e6)),
+        ]))
+    return 0 if not result.failed else 1
+
+
+def cmd_scale(args):
+    rows = []
+    for num_nodes in args.nodes:
+        report = run_recovery_scalability(
+            num_nodes, topology=args.topology,
+            mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
+            seed=args.seed)
+        rows.append((
+            num_nodes,
+            "%.2f" % (report.phase_duration_from_trigger("P1") / 1e6),
+            "%.2f" % (report.phase_duration_from_trigger("P2") / 1e6),
+            "%.2f" % (report.phase_duration_from_trigger("P3") / 1e6),
+            "%.2f" % (report.total_duration / 1e6),
+        ))
+        print("  %d nodes done" % num_nodes, file=sys.stderr)
+    print(format_series(
+        "Hardware recovery scaling (%s)" % args.topology,
+        "nodes", ["P1 [ms]", "P1,2 [ms]", "P1,2,3 [ms]", "total [ms]"],
+        rows))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLASH fault-containment experiments (ISCA 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--mem-kb", type=int, default=64,
+                       help="memory per node in KB")
+        p.add_argument("--l2-kb", type=int, default=8,
+                       help="L2 cache size in KB")
+
+    p_validate = sub.add_parser(
+        "validate", help="one Table 5.3-style validation run")
+    add_common(p_validate)
+    p_validate.add_argument("--nodes-count", type=int, default=8)
+    p_validate.add_argument(
+        "--fault", default="node_failure",
+        choices=[t.value for t in FaultType])
+    p_validate.add_argument("--target", type=int, default=7)
+    p_validate.add_argument("--target2", type=int, default=None)
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_e2e = sub.add_parser(
+        "endtoend", help="one Table 5.4-style Hive parallel-make run")
+    add_common(p_e2e)
+    p_e2e.add_argument("--nodes-count", type=int, default=8,
+                       help="number of Hive cells (1 node each)")
+    p_e2e.add_argument(
+        "--fault", default="node_failure",
+        choices=[t.value for t in FaultType])
+    p_e2e.add_argument("--target", type=int, default=3)
+    p_e2e.add_argument("--target2", type=int, default=None)
+    p_e2e.add_argument("--bug-rate", type=float, default=0.0,
+                       help="Hive incoherent-line bug emulation rate")
+    p_e2e.set_defaults(func=cmd_endtoend)
+
+    p_scale = sub.add_parser(
+        "scale", help="Figure 5.5-style recovery-time sweep")
+    add_common(p_scale)
+    p_scale.add_argument("--nodes", type=int, nargs="+",
+                         default=[2, 8, 16, 32])
+    p_scale.add_argument("--topology", default="mesh",
+                         choices=["mesh", "hypercube"])
+    p_scale.set_defaults(func=cmd_scale)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Directory-based cache coherence protocol (FLASH-style).
+
+Every 128-byte line has a fixed *home node* that stores its directory state
+(paper §2).  The protocol is a home-based MSI invalidation protocol with the
+properties the paper's fault analysis depends on:
+
+* transient lines are **locked** at the home and requests are NAK'd until the
+  transaction completes — a lost unlock deadlocks requesters (§3.2), which is
+  detected by NAK-counter overflow (§4.2);
+* a dirty writeback carries the **only valid copy** of the line (§3.2) — a
+  lost writeback makes the line incoherent;
+* lines marked incoherent answer every request with a bus-error reply (§3.2).
+"""
+
+from repro.coherence.messages import MessageKind, make_packet
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.protocol import ProtocolEngine
+
+__all__ = [
+    "Directory",
+    "DirectoryEntry",
+    "MessageKind",
+    "ProtocolEngine",
+    "make_packet",
+]

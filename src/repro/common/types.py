@@ -1,0 +1,74 @@
+"""Core enumerations and address helpers shared across subsystems."""
+
+import enum
+
+#: A node identifier is a small integer (0..N-1).
+NodeId = int
+
+#: Line addresses are byte addresses aligned to the line size.
+LineAddress = int
+
+
+class Lane(enum.IntEnum):
+    """Virtual lanes of the interconnect.
+
+    Two lanes carry normal coherence traffic (requests and replies are
+    separated to avoid protocol-induced network deadlock), and two lanes are
+    dedicated to recovery traffic (paper §4.1) so that the recovery algorithm
+    can communicate even when the normal lanes are clogged with backed-up
+    traffic.
+    """
+
+    REQUEST = 0
+    REPLY = 1
+    RECOVERY_A = 2
+    RECOVERY_B = 3
+
+
+class CacheState(enum.Enum):
+    """L2 cache line states (MSI; EXCLUSIVE means writable and dirty-able)."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+
+
+class DirState(enum.Enum):
+    """Directory states for a memory line at its home node."""
+
+    UNOWNED = "U"           # only memory copy, no caches hold the line
+    SHARED = "S"            # one or more caches hold read-only copies
+    EXCLUSIVE = "E"         # a single remote cache holds the writable copy
+    LOCKED = "L"            # transient: home is mid-transaction, NAK requests
+    INCOHERENT = "X"        # the only valid copy was lost; accesses bus-error
+
+
+class AccessKind(enum.Enum):
+    """Classes of processor-issued memory references."""
+
+    LOAD = "load"
+    STORE = "store"
+    UNCACHED_LOAD = "uncached_load"
+    UNCACHED_STORE = "uncached_store"
+    FLUSH = "flush"
+
+
+class BusErrorKind(enum.Enum):
+    """Why MAGIC terminated a reference with a bus error."""
+
+    INACCESSIBLE_NODE = "inaccessible_node"    # home is marked failed in the node map
+    INCOHERENT_LINE = "incoherent_line"        # line lost its only valid copy
+    FIREWALL = "firewall"                      # write to a page without permission
+    RANGE_CHECK = "range_check"                # write into the MAGIC-protected region
+    REMOTE_UNCACHED_IO = "remote_uncached_io"  # uncached I/O from outside the failure unit
+    TRUNCATED_DATA = "truncated_data"          # data words lost to packet truncation
+
+
+def line_of(address, line_size):
+    """Return the line-aligned address containing ``address``."""
+    return address - (address % line_size)
+
+
+def page_of(address, page_size):
+    """Return the page-aligned address containing ``address``."""
+    return address - (address % page_size)

@@ -1,0 +1,258 @@
+"""Fault-injection experiment harnesses (paper §5).
+
+Three experiment families:
+
+* :func:`run_validation_experiment` — the §5.2 methodology behind
+  Table 5.3: fill caches with a random sharing pattern, inject a fault,
+  recover, then read all of memory and verify every line is either correct
+  or properly marked, with no over-marking.
+* :func:`run_end_to_end_experiment` — thin wrapper over the Hive harness
+  behind Table 5.4 (defined in :mod:`repro.hive.endtoend`).
+* :func:`run_recovery_scalability` — phase-resolved recovery timing behind
+  Figures 5.5-5.7.
+"""
+
+import dataclasses
+
+from repro.common.types import BusErrorKind
+from repro.core.config import MachineConfig
+from repro.core.machine import FlashMachine
+from repro.faults.models import FaultSpec, FaultType
+from repro.workloads.standalone import (
+    cache_fill_program,
+    memory_check_program,
+    partition_lines,
+)
+
+
+@dataclasses.dataclass
+class ValidationResult:
+    """Outcome of one §5.2 validation run."""
+
+    fault: FaultSpec
+    passed: bool
+    problems: list
+    lines_checked: int
+    lines_marked_incoherent: int
+    lines_allowed_incoherent: int
+    recovery_report: object
+
+    def __str__(self):
+        verdict = "PASS" if self.passed else "FAIL"
+        return ("[%s] %s checked=%d marked=%d allowed=%d problems=%d"
+                % (verdict, self.fault, self.lines_checked,
+                   self.lines_marked_incoherent,
+                   self.lines_allowed_incoherent, len(self.problems)))
+
+
+def expected_failed_nodes(machine, fault):
+    """Nodes whose state the fault destroys (ground truth for the oracle).
+
+    A wedged (infinite-loop) node is included: the recovery algorithm stops
+    it, so its cache contents are lost.  A router failure strands its node,
+    which the split-brain rule then shuts down.
+    """
+    fault_type = fault.fault_type
+    if fault_type in (FaultType.NODE_FAILURE, FaultType.ROUTER_FAILURE,
+                      FaultType.INFINITE_LOOP):
+        return {fault.target}
+    return set()
+
+
+def run_validation_experiment(fault, config=None, fill_fraction=0.6,
+                              seed=0, run_limit=30_000_000_000):
+    """One complete §5.2 validation run; returns a ValidationResult."""
+    config = config or MachineConfig(seed=seed)
+    machine = FlashMachine(config).start()
+    oracle = machine.oracle
+
+    # Phase 1: fill caches with a random shared/exclusive pattern.
+    fill_lines = max(1, int(config.l2_lines * fill_fraction))
+    machine.run_programs(
+        [(node_id, cache_fill_program(machine, node_id, fill_lines, seed))
+         for node_id in range(config.num_nodes)],
+        limit=run_limit)
+    machine.quiesce()
+
+    # Phase 2: inject, snapshotting ground truth at the same instant, and
+    # again when the first agent reaches P4 (after the drain, when no more
+    # protocol transitions can happen).
+    failed_nodes = expected_failed_nodes(machine, fault)
+    oracle.snapshot_at_injection(machine, failed_nodes)
+    machine.recovery_manager.phase4_hook = (
+        lambda: oracle.snapshot_at_injection(machine, failed_nodes))
+    machine.injector.inject(fault)
+
+    # Phase 3: detection.  One prober issues a read aimed at the failed
+    # region; its timeout (or NAK overflow / truncated packet) triggers
+    # recovery (§4.2).  A false alarm needs no prober.
+    prober_proc = None
+    if fault.fault_type != FaultType.FALSE_ALARM:
+        prober_proc = _start_prober(machine, fault)
+    report = machine.run_until_recovered(limit=run_limit)
+    if prober_proc is not None:
+        # Let the prober finish its (reissued) post-recovery read.
+        machine.run_until(lambda: not prober_proc.alive, limit=run_limit)
+
+    # Phase 4: upon completion of recovery, the processors read all of the
+    # system's memory and check every line (§5.2).
+    checkers = sorted(report.available_nodes)
+    assignment = partition_lines(machine, checkers) if checkers else {}
+    observations = {node_id: [] for node_id in checkers}
+    procs = {
+        node_id: machine.nodes[node_id].processor.run_program(
+            memory_check_program(assignment[node_id],
+                                 observations[node_id]))
+        for node_id in checkers
+    }
+    manager = machine.recovery_manager
+
+    def finished():
+        return all(not proc.alive for proc in procs.values())
+
+    machine.run_until(finished, limit=run_limit)
+    if manager.reports:
+        report = manager.reports[-1]
+
+    # Phase 4: verdict.
+    problems = []
+    available = report.available_nodes
+    lines_checked = 0
+    for node_id in checkers:
+        if node_id not in available:
+            continue
+        for line, kind, detail in observations[node_id]:
+            lines_checked += 1
+            problems.extend(
+                _judge_observation(machine, oracle, line, kind, detail))
+
+    overmarked = oracle.overmarked_lines()
+    if overmarked:
+        problems.append(
+            "over-marked %d lines (e.g. 0x%x)"
+            % (len(overmarked), min(overmarked)))
+    if lines_checked == 0:
+        problems.append("no surviving checker completed: recovery lost the"
+                        " whole machine (available=%s)" % sorted(available))
+
+    return ValidationResult(
+        fault=fault,
+        passed=not problems,
+        problems=problems,
+        lines_checked=lines_checked,
+        lines_marked_incoherent=len(oracle.marked_incoherent),
+        lines_allowed_incoherent=len(oracle.may_be_incoherent or ()),
+        recovery_report=report,
+    )
+
+
+def _start_prober(machine, fault):
+    """Issue one read aimed into the faulted region to trigger detection."""
+    if fault.fault_type == FaultType.LINK_FAILURE:
+        prober, victim = fault.target
+    else:
+        victim = fault.target
+        prober = 0 if victim != 0 else 1
+    return machine.nodes[prober].processor.run_program(
+        _probe_program(machine, victim), name="prober%d" % prober)
+
+
+def _judge_observation(machine, oracle, line, kind, detail):
+    """Check one post-recovery read against the oracle's allowed outcomes."""
+    home = machine.address_map.home_of(line)
+    home_unavailable = home not in machine.recovery_manager.reports[-1].available_nodes
+
+    if kind == "bus_error":
+        if detail == BusErrorKind.INACCESSIBLE_NODE:
+            if home_unavailable:
+                return []
+            return ["line 0x%x: spurious inaccessible-node error" % line]
+        if detail == BusErrorKind.INCOHERENT_LINE:
+            if line in (oracle.may_be_incoherent or ()):
+                return []
+            return ["line 0x%x: marked incoherent but was stable" % line]
+        return ["line 0x%x: unexpected bus error %s" % (line, detail)]
+
+    # The read returned data.
+    if home_unavailable:
+        return ["line 0x%x: read data from an unavailable home" % line]
+    expected = oracle.committed_value(line)
+    if detail != expected:
+        return ["line 0x%x: stale/wrong data %r (expected %r)"
+                % (line, detail, expected)]
+    return []
+
+
+# --------------------------------------------------------------------- table 5.4
+
+def run_end_to_end_experiment(*args, **kwargs):
+    """Table 5.4 end-to-end (Hive + parallel make) experiment."""
+    from repro.hive.endtoend import run_end_to_end_experiment as run
+    return run(*args, **kwargs)
+
+
+@dataclasses.dataclass
+class EndToEndResult:
+    """Outcome of one Table 5.4 run (defined here for the public API; the
+    Hive harness populates it)."""
+
+    fault: FaultSpec
+    recovered: bool
+    os_recovered: bool
+    compiles_expected: int
+    compiles_correct: int
+    failed: bool                       # run counts in the "failed" column
+    failure_reason: str
+    hw_recovery_ns: float
+    os_recovery_ns: float
+
+
+# ------------------------------------------------------------------ figures 5.5-5.7
+
+def run_recovery_scalability(num_nodes, topology="mesh",
+                             mem_per_node=1 << 20, l2_size=1 << 20,
+                             fault=None, seed=0, fill_fraction=0.25,
+                             config_overrides=None,
+                             run_limit=200_000_000_000):
+    """Measure phase-resolved hardware recovery time (Figures 5.5/5.6).
+
+    Returns the :class:`~repro.recovery.manager.RecoveryReport` of a
+    recovery triggered by ``fault`` (default: failure of the highest-id
+    node) on a machine that has a light cached working set.
+    """
+    overrides = dict(config_overrides or {})
+    config = MachineConfig(
+        num_nodes=num_nodes, topology=topology,
+        mem_per_node=mem_per_node, l2_size=l2_size, seed=seed, **overrides)
+    machine = FlashMachine(config).start()
+
+    fill_lines = max(1, int(config.l2_lines * fill_fraction))
+    machine.run_programs(
+        [(node_id, cache_fill_program(machine, node_id, fill_lines, seed))
+         for node_id in range(num_nodes)],
+        limit=run_limit)
+    machine.quiesce()
+
+    if fault is None:
+        fault = FaultSpec.node_failure(num_nodes - 1)
+    machine.injector.inject(fault)
+    if fault.fault_type != FaultType.FALSE_ALARM:
+        # Detection: one read aimed into the failed region times out.
+        victim = fault.target if isinstance(fault.target, int) else fault.target[0]
+        prober = 0 if victim != 0 else 1
+        machine.nodes[prober].processor.run_program(
+            _probe_program(machine, victim))
+    report = machine.run_until_recovered(limit=run_limit)
+    return report
+
+
+def _probe_program(machine, victim_node):
+    """Detection probe: an *uncached* read into the victim's memory, so a
+    warm cache cannot satisfy it locally — it must cross the fabric and
+    trip the memory-operation timeout (§4.2)."""
+    from repro.common.errors import BusError
+    from repro.node.processor import UncachedLoad
+    try:
+        yield UncachedLoad(machine.line_homed_at(victim_node))
+    except BusError:
+        pass

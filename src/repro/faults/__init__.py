@@ -1,0 +1,16 @@
+"""Fault models, injection, and the correctness oracle.
+
+The five injected fault types match Table 5.2 of the paper: node failure,
+router failure, link failure, MAGIC infinite loop, and false alarm.  The
+:class:`~repro.faults.oracle.Oracle` plays the role of the paper's
+simulator-side bookkeeping (§5.2): it tracks committed line values and, at
+injection time, computes the set of lines *allowed* to become incoherent, so
+experiments can verify the recovery algorithm marks neither more nor fewer
+lines than necessary.
+"""
+
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import Oracle
+
+__all__ = ["FaultInjector", "FaultSpec", "FaultType", "Oracle"]

@@ -1,0 +1,43 @@
+"""Applies fault specifications to a running machine."""
+
+from repro.faults.models import FaultType
+
+
+class FaultInjector:
+    """Injects faults into a :class:`~repro.core.machine.FlashMachine`."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.injected = []
+
+    def inject(self, spec):
+        """Apply a fault right now; returns the spec for chaining."""
+        machine = self.machine
+        fault_type = spec.fault_type
+
+        if fault_type == FaultType.NODE_FAILURE:
+            machine.nodes[spec.target].fail()
+        elif fault_type == FaultType.ROUTER_FAILURE:
+            # A dead router takes its links with it; the attached node
+            # becomes unreachable (and will shut itself down).
+            machine.network.fail_router(spec.target)
+        elif fault_type == FaultType.LINK_FAILURE:
+            rid_a, rid_b = spec.target
+            machine.network.fail_link(rid_a, rid_b)
+        elif fault_type == FaultType.INFINITE_LOOP:
+            machine.nodes[spec.target].wedge()
+        elif fault_type == FaultType.FALSE_ALARM:
+            # Route through MAGIC's trigger path so hooks observe it too.
+            machine.nodes[spec.target].magic.trigger_recovery("false_alarm")
+        else:
+            raise ValueError("unknown fault type %r" % fault_type)
+
+        self.injected.append((self.machine.sim.now, spec))
+        return spec
+
+    def inject_at(self, spec, time):
+        """Schedule an injection at an absolute simulation time."""
+        self.machine.sim.schedule_at(time, self.inject, spec)
+
+    def inject_after(self, spec, delay):
+        self.machine.sim.schedule(delay, self.inject, spec)

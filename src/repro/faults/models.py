@@ -1,0 +1,64 @@
+"""Fault specifications (paper Table 5.2)."""
+
+import dataclasses
+import enum
+
+
+class FaultType(enum.Enum):
+    """The injected fault classes from Table 5.2."""
+
+    NODE_FAILURE = "node_failure"       # MAGIC fails; router stays up;
+                                        # packets to the node are discarded
+    ROUTER_FAILURE = "router_failure"   # packets to the router are discarded
+    LINK_FAILURE = "link_failure"       # packets crossing the link dropped;
+                                        # the in-flight one is truncated
+    INFINITE_LOOP = "infinite_loop"     # MAGIC stops accepting packets;
+                                        # traffic backs up into the fabric
+    FALSE_ALARM = "false_alarm"         # recovery triggered with no fault
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``target`` is a node/router id for node, router, infinite-loop and
+    false-alarm faults, and an ``(a, b)`` pair for link faults.
+    """
+
+    fault_type: FaultType
+    target: object
+
+    @classmethod
+    def node_failure(cls, node_id):
+        return cls(FaultType.NODE_FAILURE, node_id)
+
+    @classmethod
+    def router_failure(cls, router_id):
+        return cls(FaultType.ROUTER_FAILURE, router_id)
+
+    @classmethod
+    def link_failure(cls, node_a, node_b):
+        return cls(FaultType.LINK_FAILURE, (node_a, node_b))
+
+    @classmethod
+    def infinite_loop(cls, node_id):
+        return cls(FaultType.INFINITE_LOOP, node_id)
+
+    @classmethod
+    def false_alarm(cls, node_id):
+        return cls(FaultType.FALSE_ALARM, node_id)
+
+    @classmethod
+    def random(cls, rng, topology, fault_type=None):
+        """Draw a random fault of the given (or a random) type."""
+        if fault_type is None:
+            fault_type = rng.choice(list(FaultType))
+        if fault_type == FaultType.LINK_FAILURE:
+            links = topology.links()
+            rid_a, _, rid_b, _ = rng.choice(links)
+            return cls.link_failure(rid_a, rid_b)
+        node_id = rng.randrange(topology.num_nodes)
+        return cls(fault_type, node_id)
+
+    def __str__(self):
+        return "%s(%s)" % (self.fault_type.value, self.target)

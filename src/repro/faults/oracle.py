@@ -1,0 +1,125 @@
+"""Ground-truth bookkeeping for validation experiments (paper §5.2).
+
+The paper: *"We keep track in the simulator of the lines that may have
+become incoherent, either because they were cached on a failed node or
+because they were in a transitional state when we injected the fault.  This
+allows us to verify that our recovery algorithm does not mark more lines as
+incoherent than necessary."*
+
+The oracle implements exactly that:
+
+* it records the **committed value** of every line (updated on each store)
+  — after recovery a surviving line must read this value, or bus-error as
+  incoherent/inaccessible, and *nothing else* (a stale read would mean the
+  directory scan failed to mark a lost line);
+* at injection time :meth:`snapshot_at_injection` computes the
+  **may-become-incoherent** set: lines owned exclusive by failed nodes,
+  lines in a transient (locked) directory state, and lines whose exclusive
+  owner no longer holds the data in cache (the grant or writeback is in
+  flight);
+* it collects the set of lines the recovery algorithm actually **marked**,
+  so over-marking is detectable as ``marked - allowed``.
+"""
+
+from repro.common.types import DirState
+from repro.node.magic import NullHooks
+from repro.node.memory import initial_value
+
+
+class Oracle(NullHooks):
+    """Instrumentation hooks + allowed-outcome computation."""
+
+    def __init__(self):
+        self.committed = {}            # line -> last committed value
+        self.outstanding_puts = {}     # line -> count of writebacks in flight
+        self.marked_incoherent = set()
+        self.recovery_triggers = []    # (node, reason) in trigger order
+        self.bus_errors = []
+        self.may_be_incoherent = None  # computed at injection
+        self.inaccessible_homes = None
+
+    # -- hooks ------------------------------------------------------------------
+
+    def on_store(self, node_id, line_address, value):
+        self.committed[line_address] = value
+
+    def on_put_sent(self, node_id, line_address, value):
+        self.outstanding_puts[line_address] = (
+            self.outstanding_puts.get(line_address, 0) + 1)
+
+    def on_put_absorbed(self, home_id, line_address):
+        count = self.outstanding_puts.get(line_address, 0)
+        if count <= 1:
+            self.outstanding_puts.pop(line_address, None)
+        else:
+            self.outstanding_puts[line_address] = count - 1
+
+    def on_line_marked_incoherent(self, home_id, line_address):
+        self.marked_incoherent.add(line_address)
+
+    def on_recovery_triggered(self, node_id, reason):
+        self.recovery_triggers.append((node_id, reason))
+
+    def on_bus_error(self, node_id, error):
+        self.bus_errors.append((node_id, error))
+
+    # -- queries ---------------------------------------------------------------
+
+    def committed_value(self, line_address):
+        return self.committed.get(line_address, initial_value(line_address))
+
+    # -- injection snapshot --------------------------------------------------------
+
+    def snapshot_at_injection(self, machine, failed_nodes):
+        """Compute allowed outcomes given the set of nodes that will fail.
+
+        ``failed_nodes`` must include wedged (infinite-loop) nodes: the
+        recovery algorithm stops them, losing their cache contents.
+        """
+        failed_nodes = set(failed_nodes)
+        may_be_incoherent = set()
+        inaccessible = set()
+
+        for node in machine.nodes:
+            directory = node.magic.directory
+            home_failed = node.node_id in failed_nodes
+            for line_address in directory.touched_lines():
+                entry = directory.peek(line_address)
+                if home_failed:
+                    inaccessible.add(line_address)
+                    continue
+                if entry.state == DirState.LOCKED:
+                    # Transient at injection: a message of this transaction
+                    # may be lost anywhere in flight.
+                    may_be_incoherent.add(line_address)
+                elif entry.state == DirState.EXCLUSIVE:
+                    owner = entry.owner
+                    if owner in failed_nodes:
+                        may_be_incoherent.add(line_address)
+                    else:
+                        owner_cache = machine.nodes[owner].cache
+                        if not owner_cache.contains(line_address):
+                            # Grant or writeback in flight.
+                            may_be_incoherent.add(line_address)
+                elif line_address in self.outstanding_puts:
+                    may_be_incoherent.add(line_address)
+
+        # Snapshots accumulate: the harness snapshots at injection and again
+        # at P4 entry, when no further protocol transitions are possible —
+        # the union covers transactions that went transient between the
+        # injection and the moment every node entered recovery.
+        if self.may_be_incoherent is None:
+            self.may_be_incoherent = set()
+            self.inaccessible_homes = set()
+        self.may_be_incoherent |= may_be_incoherent
+        self.inaccessible_homes |= inaccessible
+        return may_be_incoherent, inaccessible
+
+    # -- verdicts --------------------------------------------------------------------
+
+    def overmarked_lines(self):
+        """Lines marked incoherent that were not allowed to be (must be
+        empty for a correct recovery implementation)."""
+        if self.may_be_incoherent is None:
+            return set(self.marked_incoherent)
+        return self.marked_incoherent - self.may_be_incoherent

@@ -1,0 +1,36 @@
+"""Behavioural model of the Hive operating system (paper §3.3, §4.6).
+
+Hive structures the machine as an internal distributed system of *cells*:
+each cell is a kernel managing one partition of the machine, and partitions
+are aligned with hardware failure units.  The model implements the pieces
+the paper's end-to-end experiments depend on:
+
+* kernel data confined to the cell's own failure unit, defended by the
+  firewall (a cell never crashes because of a fault *outside* its unit);
+* exactly-once inter-cell RPC over a lossy transport (§3.3);
+* remote I/O via RPC only — MAGIC bus-errors direct cross-unit uncached
+  I/O (§3.3);
+* a shared-memory file service (heavy cross-cell coherence traffic, §5.1);
+* OS recovery after the hardware recovery interrupt (§4.6): dead cells are
+  detected, dependent processes terminated, incoherent pages scrubbed
+  through the MAGIC service before reuse, and only then do user processes
+  resume;
+* a configurable emulation of the Hive bugs the paper found in the
+  incoherent-line handling paths (the 8.4% failed runs of Table 5.4).
+"""
+
+from repro.hive.rpc import CellDownError, RpcEndpoint, RpcError
+from repro.hive.cell import Cell, KernelMemoryError
+from repro.hive.os import HiveConfig, HiveOS
+from repro.hive.filesystem import FileService
+
+__all__ = [
+    "Cell",
+    "CellDownError",
+    "FileService",
+    "HiveConfig",
+    "HiveOS",
+    "KernelMemoryError",
+    "RpcEndpoint",
+    "RpcError",
+]

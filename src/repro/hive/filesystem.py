@@ -1,0 +1,140 @@
+"""Shared-memory file service (paper §5.1).
+
+One cell acts as the file server; "the Hive file system uses shared memory
+for all file data transfers across cell boundaries", so a client compile
+job reads and writes file pages *directly* through the coherence protocol —
+this is what generates the heavy cross-cell traffic of the parallel-make
+workload.
+
+Control operations (open, close, refetch) are RPCs.  File contents
+ultimately live on "disk" (regenerable deterministic tokens): when a fault
+makes a cached file page incoherent, the server scrubs the page through the
+MAGIC service and rewrites it from disk — the client then retries.  This is
+the *correct* handling path; the Hive bugs the paper reports lived exactly
+here, which is what the bug-emulation knob models (see
+:class:`~repro.hive.os.HiveConfig`).
+"""
+
+from repro.common.types import page_of
+
+
+def disk_token(file_name, line_address):
+    """The immutable on-disk contents of one line of a source file."""
+    return ("disk", file_name, line_address)
+
+
+class FileService:
+    """File server running on one cell."""
+
+    def __init__(self, cell, pages_per_file=1):
+        self.cell = cell
+        self.machine = cell.machine
+        self.params = cell.params
+        self.pages_per_file = pages_per_file
+        self.files = {}          # name -> dict(pages=[...], writers=set())
+        self._next_page = None
+
+    # ----------------------------------------------------------------- layout
+
+    def _allocate_pages(self, count):
+        page_size = self.params.page_size
+        if self._next_page is None:
+            # File pages start above the server cell's kernel pages.
+            last_kernel = max(self.cell.kernel_pages)
+            self._next_page = last_kernel + page_size
+        start, end = self.machine.address_map.usable_range(
+            self.cell.lead_node)
+        pages = []
+        for _ in range(count):
+            if self._next_page + page_size > end:
+                raise RuntimeError("file server out of memory")
+            pages.append(self._next_page)
+            self._next_page += page_size
+        return pages
+
+    def create(self, name, writers=()):
+        """Create a file backed by server-cell pages; returns page list."""
+        pages = self._allocate_pages(self.pages_per_file)
+        self.files[name] = {"pages": pages, "writers": set(writers)}
+        self._initialize_pages(name, pages)
+        self._program_firewall(name)
+        return pages
+
+    def _initialize_pages(self, name, pages):
+        """Write the on-disk contents into the page-cache pages."""
+        memory = self.machine.nodes[self.cell.lead_node].memory
+        line_size = self.params.line_size
+        for page in pages:
+            for offset in range(0, self.params.page_size, line_size):
+                line = page + offset
+                memory.write_line(line, disk_token(name, line))
+                self.machine.oracle.on_store(
+                    self.cell.lead_node, line, disk_token(name, line))
+
+    def _program_firewall(self, name):
+        entry = self.files[name]
+        magic = self.cell.magic
+        writer_nodes = set(self.cell.node_ids)
+        for writer_cell in entry["writers"]:
+            writer_nodes |= self.cell.hive.cells[writer_cell].node_ids
+        for page in entry["pages"]:
+            magic.set_firewall(page, writer_nodes)
+
+    def lines_of(self, name):
+        entry = self.files[name]
+        line_size = self.params.line_size
+        return [page + offset
+                for page in entry["pages"]
+                for offset in range(0, self.params.page_size, line_size)]
+
+    # ------------------------------------------------------------ RPC handlers
+
+    def register_services(self):
+        self.cell.rpc.register("fs.open", self._rpc_open)
+        self.cell.rpc.register("fs.grant_write", self._rpc_grant_write)
+        self.cell.rpc.register("fs.refetch", self._rpc_refetch)
+
+    def _rpc_open(self, caller_cell, payload):
+        name = payload["name"]
+        entry = self.files.get(name)
+        if entry is None:
+            return {"error": "no such file"}
+        return {"pages": list(entry["pages"])}
+
+    def _rpc_grant_write(self, caller_cell, payload):
+        name = payload["name"]
+        entry = self.files.get(name)
+        if entry is None:
+            return {"error": "no such file"}
+        entry["writers"].add(caller_cell)
+        self._program_firewall(name)
+        return {"ok": True}
+
+    def _rpc_refetch(self, caller_cell, payload):
+        """A client hit an incoherent line: scrub the page and restore its
+        contents from disk (§4.6 page scrub before reuse)."""
+        name = payload["name"]
+        line = payload["line"]
+        entry = self.files.get(name)
+        if entry is None:
+            return {"error": "no such file"}
+        page = page_of(line, self.params.page_size)
+        if page not in entry["pages"]:
+            return {"error": "line not in file"}
+        # This is the OS path whose incoherent-line handling contained the
+        # Hive bugs the paper reports (§5.2): the bug emulation hook sits
+        # here.
+        if self.cell.hive.maybe_trip_incoherent_bug(self.cell):
+            return {"error": "cell panicked"}
+        home_magic = self.machine.nodes[
+            self.machine.address_map.home_of(page)].magic
+        home_magic.scrub_page(page)
+        memory = self.machine.nodes[self.cell.lead_node].memory
+        line_size = self.params.line_size
+        for offset in range(0, self.params.page_size, line_size):
+            line_address = page + offset
+            memory.write_line(line_address, disk_token(name, line_address))
+            self.machine.oracle.on_store(
+                self.cell.lead_node, line_address,
+                disk_token(name, line_address))
+        return {"ok": True}

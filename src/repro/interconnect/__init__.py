@@ -1,0 +1,51 @@
+"""CrayLink/SPIDER-style interconnect model.
+
+The interconnect is the substrate whose *failure modes* drive the paper:
+
+* reliable, flow-controlled point-to-point delivery during normal operation
+  (credit-based back-pressure, per-lane buffering, in-order per-lane
+  delivery);
+* black-hole behaviour of failed links and routers;
+* packet truncation when a link fails mid-transfer;
+* congestion back-up when a node controller stops accepting packets;
+* dedicated recovery virtual lanes with stall-discard semantics;
+* source-routed packets and router probes used by the recovery algorithm;
+* reprogrammable per-router routing tables (including the discard regions
+  used to isolate failed areas during interconnect recovery).
+"""
+
+from repro.interconnect.packet import Packet, ROUTER_PROBE, ROUTER_PROBE_REPLY
+from repro.interconnect.topology import (
+    FatHypercube,
+    Mesh2D,
+    Topology,
+    make_topology,
+)
+from repro.interconnect.routing import (
+    channel_dependency_graph,
+    compute_source_route,
+    compute_up_down_tables,
+    graph_is_acyclic,
+)
+from repro.interconnect.link import Link
+from repro.interconnect.router import LOCAL_PORT, NodeInterface, Router
+from repro.interconnect.network import Network
+
+__all__ = [
+    "FatHypercube",
+    "Link",
+    "LOCAL_PORT",
+    "Mesh2D",
+    "Network",
+    "NodeInterface",
+    "Packet",
+    "ROUTER_PROBE",
+    "ROUTER_PROBE_REPLY",
+    "Router",
+    "Topology",
+    "channel_dependency_graph",
+    "compute_source_route",
+    "compute_up_down_tables",
+    "graph_is_acyclic",
+    "make_topology",
+]

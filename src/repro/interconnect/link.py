@@ -1,0 +1,45 @@
+"""Point-to-point links with in-flight transfer tracking.
+
+Links fail as "black holes" (paper §4.1): traffic routed into a failed link
+is silently sunk.  The one packet that is *on* the link at the instant of
+failure is truncated and still delivered (§3.1) — the receiving node
+controller detects the truncation and triggers recovery.
+"""
+
+
+class Link:
+    """An undirected link between two router ports."""
+
+    def __init__(self, router_a, port_a, router_b, port_b):
+        self.router_a = router_a
+        self.port_a = port_a
+        self.router_b = router_b
+        self.port_b = port_b
+        self.failed = False
+        #: transfer records currently on the wire (either direction)
+        self.in_flight = []
+
+    def endpoints(self):
+        return (self.router_a.router_id, self.router_b.router_id)
+
+    def other_side(self, from_router_id):
+        """(destination router, destination port) seen from one endpoint."""
+        if from_router_id == self.router_a.router_id:
+            return self.router_b, self.port_b
+        if from_router_id == self.router_b.router_id:
+            return self.router_a, self.port_a
+        raise ValueError("router %r not on this link" % from_router_id)
+
+    def fail(self):
+        """Fail the link: truncate whatever is mid-transfer right now."""
+        if self.failed:
+            return
+        self.failed = True
+        for record in self.in_flight:
+            record.packet.truncate()
+
+    def __repr__(self):
+        state = "FAILED" if self.failed else "up"
+        return "<Link %d:%d <-> %d:%d (%s)>" % (
+            self.router_a.router_id, self.port_a,
+            self.router_b.router_id, self.port_b, state)

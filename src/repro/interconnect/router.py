@@ -1,0 +1,508 @@
+"""SPIDER-like router with per-lane input buffering and credit back-pressure.
+
+Each router runs one forwarding process.  Input buffers exist per
+``(port, lane)``; a packet is forwarded when its output port is idle and the
+downstream buffer has a free slot (credit reserved at transfer start).  A
+full downstream buffer therefore backs traffic up toward the sources, which
+is exactly the congestion mechanism that makes a wedged node controller
+dangerous (paper §3.1).
+
+Recovery lanes get two special behaviours from the hardware (paper §4.1):
+
+* packets on them may be *source-routed* (the route is a list of output
+  ports consumed hop by hop);
+* a recovery-lane packet that has been stalled at a router for longer than
+  ``recovery_stall_discard`` is discarded, so the recovery lanes can never
+  stay congested.
+
+Routers also answer :data:`~repro.interconnect.packet.ROUTER_PROBE` packets
+in hardware (used by recovery initiation to map the neighborhood) and
+support *discard ports* (used during interconnect recovery to isolate failed
+regions and let stalled traffic drain).
+"""
+
+from collections import deque
+
+from repro.common.types import Lane
+from repro.interconnect.packet import (
+    Packet,
+    ROUTER_CTRL_ACK,
+    ROUTER_PROBE,
+    ROUTER_PROBE_REPLY,
+    ROUTER_SET_DISCARD,
+    ROUTER_SET_TABLE,
+)
+from repro.sim.process import Event
+
+#: The port connecting a router to its own node's controller.
+LOCAL_PORT = -1
+
+_NORMAL_LANES = (Lane.REQUEST, Lane.REPLY)
+_RECOVERY_LANES = (Lane.RECOVERY_A, Lane.RECOVERY_B)
+
+
+class RouterStats:
+    """Per-router packet accounting (useful in tests and debugging)."""
+
+    def __init__(self):
+        self.forwarded = 0
+        self.delivered_local = 0
+        self.dropped_failed = 0
+        self.dropped_unroutable = 0
+        self.dropped_discard = 0
+        self.dropped_stall = 0
+        self.dropped_link = 0
+        self.probes_answered = 0
+
+
+class NodeInterface:
+    """The router-facing side of a node controller (MAGIC NI).
+
+    Holds the bounded inbox the router delivers into, and the outbound queue
+    MAGIC sends from.  The inbox bound is what turns a non-consuming
+    controller (infinite-loop fault) into interconnect back-pressure.
+    """
+
+    def __init__(self, sim, params, node_id):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.router = None
+        from repro.sim.channel import Channel
+        self.inbox = Channel(sim, name="ni%d.inbox" % node_id)
+        self._reserved = 0
+        self.failed = False          # node failure: arrivals silently dropped
+        self.consuming = True        # infinite-loop fault clears this
+        self._outbox = deque()
+        self._pump_proc = None
+        self._space_event = None
+
+    # -- router-side API -----------------------------------------------------
+
+    def can_accept(self):
+        if self.failed:
+            return True   # failed controllers sink packets (paper §4.1)
+        return len(self.inbox) + self._reserved < self.params.magic_inbox_capacity
+
+    def reserve(self):
+        self._reserved += 1
+
+    def complete_delivery(self, packet):
+        self._reserved = max(0, self._reserved - 1)
+        if self.failed:
+            return
+        self.inbox.put(packet)
+
+    # -- controller-side API ---------------------------------------------------
+
+    def receive(self):
+        """Event yielding the next inbound packet; frees a router credit."""
+        event = self.inbox.get()
+        self._notify_router()
+        return event
+
+    def try_receive(self):
+        """Non-blocking receive; frees a router credit when a packet pops."""
+        packet = self.inbox.try_get()
+        if packet is not None:
+            self._notify_router()
+        return packet
+
+    def _notify_router(self):
+        if self.router is not None:
+            self.router.notify()
+
+    def send(self, packet):
+        """Queue an outbound packet; the pump injects it when space allows."""
+        packet.inject_time = self.sim.now
+        self._outbox.append(packet)
+        self._kick_pump()
+
+    @property
+    def outbox_depth(self):
+        return len(self._outbox)
+
+    def start(self):
+        """Spawn the outbound pump process (called by the network)."""
+        self._pump_proc = self.sim.spawn(
+            self._pump(), name="ni%d.pump" % self.node_id)
+
+    def _kick_pump(self):
+        if self._space_event is not None and not self._space_event.triggered:
+            self._space_event.trigger()
+
+    def notify_space(self):
+        """Router informs us a local input-buffer slot was freed."""
+        self._kick_pump()
+
+    def _pump(self):
+        while True:
+            while self._outbox and not self.failed:
+                packet = self._outbox[0]
+                if self.router.inject_local(packet):
+                    self._outbox.popleft()
+                else:
+                    break
+            self._space_event = Event(self.sim)
+            yield self._space_event
+            self._space_event = None
+
+    def fail(self):
+        self.failed = True
+        self.inbox.clear()
+        self._outbox.clear()
+
+    def stop_consuming(self):
+        """Model a MAGIC firmware infinite loop: inbox is never drained."""
+        self.consuming = False
+
+
+class Router:
+    """A single router of the interconnect fabric."""
+
+    def __init__(self, sim, params, router_id):
+        self.sim = sim
+        self.params = params
+        self.router_id = router_id
+        self.links = {}              # port -> Link
+        self.node_interface = None   # NodeInterface on LOCAL_PORT
+        self.table = {}              # dst node -> port (normal lanes)
+        self.discard_ports = set()   # isolation during interconnect recovery
+        self.failed = False
+        self.stats = RouterStats()
+
+        self._buffers = {}           # (port, lane) -> deque of packets
+        self._head_since = {}        # (port, lane) -> time current head stalled
+        self._reserved = {}          # (port, lane) -> credits handed upstream
+        self._output_busy_until = {} # port -> time
+        self._wake_event = None
+        self._dirty = False
+        self._proc = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_link(self, port, link):
+        self.links[port] = link
+        for lane in Lane:
+            self._buffers[(port, lane)] = deque()
+            self._reserved[(port, lane)] = 0
+        self._output_busy_until[port] = 0.0
+
+    def attach_node(self, node_interface):
+        self.node_interface = node_interface
+        node_interface.router = self
+        for lane in Lane:
+            self._buffers[(LOCAL_PORT, lane)] = deque()
+            self._reserved[(LOCAL_PORT, lane)] = 0
+        self._output_busy_until[LOCAL_PORT] = 0.0
+
+    def start(self):
+        self._proc = self.sim.spawn(
+            self._run(), name="router%d" % self.router_id)
+
+    # -- capacity / credits -----------------------------------------------------
+
+    def _capacity(self, lane):
+        if lane in _RECOVERY_LANES:
+            return self.params.recovery_buffer_capacity
+        return self.params.buffer_capacity
+
+    def free_slots(self, port, lane):
+        key = (port, lane)
+        return (self._capacity(lane)
+                - len(self._buffers[key]) - self._reserved[key])
+
+    def try_reserve(self, port, lane):
+        """Reserve one downstream slot for an in-flight transfer."""
+        if self.failed:
+            return True   # failed routers sink anything sent at them
+        if self.free_slots(port, lane) <= 0:
+            return False
+        self._reserved[(port, lane)] += 1
+        return True
+
+    def release(self, port, lane):
+        self._reserved[(port, lane)] = max(
+            0, self._reserved[(port, lane)] - 1)
+
+    def receive(self, packet, port, lane):
+        """A transfer completed: enqueue the packet at an input buffer."""
+        self._reserved[(port, lane)] = max(
+            0, self._reserved[(port, lane)] - 1)
+        if self.failed:
+            self.stats.dropped_failed += 1
+            return
+        if packet.is_source_routed:
+            packet.trace_ports.append(port)
+        packet.hops += 1
+        buffer = self._buffers[(port, lane)]
+        if not buffer:
+            self._head_since[(port, lane)] = self.sim.now
+        buffer.append(packet)
+        self.notify()
+
+    # -- local injection ----------------------------------------------------------
+
+    def inject_local(self, packet):
+        """Node controller pushes a packet into the router's local port."""
+        if self.failed:
+            self.stats.dropped_failed += 1
+            return True
+        key = (LOCAL_PORT, packet.lane)
+        if (len(self._buffers[key]) + self._reserved[key]
+                >= self._capacity(packet.lane)):
+            return False
+        if not self._buffers[key]:
+            self._head_since[key] = self.sim.now
+        self._buffers[key].append(packet)
+        self.notify()
+        return True
+
+    # -- forwarding engine -----------------------------------------------------------
+
+    def notify(self):
+        self._dirty = True
+        if self._wake_event is not None and not self._wake_event.triggered:
+            self._wake_event.trigger()
+
+    def _run(self):
+        while True:
+            self._dirty = False
+            if not self.failed:
+                self._scan_once()
+            if self._dirty:
+                # New arrivals or credits while scanning: scan again.
+                yield 0.0
+                continue
+            self._wake_event = Event(self.sim)
+            yield self._wake_event
+            self._wake_event = None
+
+    def _scan_once(self):
+        """One pass over all input buffers, forwarding whatever can move."""
+        now = self.sim.now
+        for key in sorted(self._buffers, key=lambda k: (k[0], int(k[1]))):
+            port, lane = key
+            buffer = self._buffers[key]
+            while buffer:
+                packet = buffer[0]
+                outcome = self._try_forward(packet, port, lane, now)
+                if outcome == "moved":
+                    buffer.popleft()
+                    if buffer:
+                        self._head_since[key] = now
+                    self._credit_upstream(port)
+                    continue
+                if outcome == "blocked":
+                    self._maybe_stall_discard(key, buffer, port, lane, now)
+                    break
+                raise AssertionError(outcome)
+
+    def _maybe_stall_discard(self, key, buffer, port, lane, now):
+        """Discard long-stalled recovery-lane packets (paper §4.1)."""
+        if lane not in _RECOVERY_LANES:
+            return
+        stalled_for = now - self._head_since.get(key, now)
+        threshold = self.params.recovery_stall_discard
+        if stalled_for >= threshold:
+            buffer.popleft()
+            self.stats.dropped_stall += 1
+            if buffer:
+                self._head_since[key] = now
+            self._credit_upstream(port)
+            self.notify()
+        else:
+            # Re-check when the threshold would be crossed.
+            self.sim.schedule(threshold - stalled_for, self.notify)
+
+    def _credit_upstream(self, port):
+        """A slot freed on ``port``: wake whoever feeds that buffer."""
+        if port == LOCAL_PORT:
+            if self.node_interface is not None:
+                self.node_interface.notify_space()
+            return
+        link = self.links.get(port)
+        if link is None:
+            return
+        upstream, _ = link.other_side(self.router_id)
+        upstream.notify()
+
+    def _route_of(self, packet):
+        """Output port for a packet, or None if unroutable."""
+        if packet.is_source_routed:
+            next_port = packet.next_route_port()
+            if next_port is None:
+                return LOCAL_PORT
+            return next_port
+        if packet.dst == self.router_id:
+            return LOCAL_PORT
+        return self.table.get(packet.dst)
+
+    def _try_forward(self, packet, in_port, lane, now):
+        out_port = self._route_of(packet)
+
+        if out_port is None:
+            self.stats.dropped_unroutable += 1
+            return "moved"   # consumed (dropped)
+
+        if out_port == LOCAL_PORT and packet.kind in (
+                ROUTER_PROBE, ROUTER_SET_DISCARD, ROUTER_SET_TABLE):
+            # Router-addressed packets are handled by the router hardware
+            # itself, even when the local port is in the discard set — the
+            # recovery algorithm must stay able to probe and reprogram a
+            # router whose node it has isolated.
+            if packet.kind == ROUTER_PROBE:
+                self._answer_probe(packet)
+            else:
+                self._apply_control(packet)
+            return "moved"
+
+        if out_port in self.discard_ports:
+            self.stats.dropped_discard += 1
+            return "moved"
+
+        if out_port == LOCAL_PORT:
+            return self._deliver_local(packet, now)
+
+        if out_port == in_port and not packet.is_source_routed:
+            # Table inconsistency during reconfiguration: drop rather than
+            # bounce forever.
+            self.stats.dropped_unroutable += 1
+            return "moved"
+
+        link = self.links.get(out_port)
+        if link is None:
+            self.stats.dropped_unroutable += 1
+            return "moved"
+
+        if self._output_busy_until[out_port] > now:
+            self.sim.schedule(
+                self._output_busy_until[out_port] - now, self.notify)
+            return "blocked"
+
+        if link.failed:
+            # Black hole: the packet is sunk (paper §4.1).
+            self.stats.dropped_link += 1
+            return "moved"
+
+        downstream, downstream_port = link.other_side(self.router_id)
+        if not downstream.try_reserve(downstream_port, packet.lane):
+            return "blocked"
+
+        if packet.is_source_routed:
+            packet.advance_route()
+        transfer_time = self.params.packet_transfer_time(packet.flits)
+        self._output_busy_until[out_port] = now + packet.flits * self.params.flit_time
+        record = _Transfer(packet, link, downstream, downstream_port)
+        link.in_flight.append(record)
+        self.sim.schedule(transfer_time, self._complete_transfer, record)
+        self.stats.forwarded += 1
+        return "moved"
+
+    def _complete_transfer(self, record):
+        if record in record.link.in_flight:
+            record.link.in_flight.remove(record)
+        record.downstream.receive(
+            record.packet, record.downstream_port, record.packet.lane)
+
+    # -- local delivery -------------------------------------------------------------
+
+    def _deliver_local(self, packet, now):
+        interface = self.node_interface
+        if interface is None:
+            self.stats.dropped_unroutable += 1
+            return "moved"
+        if not interface.can_accept():
+            return "blocked"
+        if self._output_busy_until[LOCAL_PORT] > now:
+            self.sim.schedule(
+                self._output_busy_until[LOCAL_PORT] - now, self.notify)
+            return "blocked"
+        interface.reserve()
+        transfer_time = self.params.packet_transfer_time(packet.flits)
+        self._output_busy_until[LOCAL_PORT] = (
+            now + packet.flits * self.params.flit_time)
+        self.sim.schedule(
+            transfer_time, interface.complete_delivery, packet)
+        self.stats.delivered_local += 1
+        return "moved"
+
+    def _answer_probe(self, probe):
+        """Reply to a router probe in hardware (always, while powered)."""
+        self.stats.probes_answered += 1
+        reply = Packet(
+            src=self.router_id, dst=probe.src,
+            lane=probe.lane, kind=ROUTER_PROBE_REPLY,
+            payload={"router_id": self.router_id,
+                     "probe_uid": probe.uid,
+                     "echo": probe.payload},
+            flits=2,
+            source_route=list(reversed(probe.trace_ports)))
+        self._inject_reply(reply)
+
+    def _apply_control(self, packet):
+        """Apply a recovery control command to this router's hardware."""
+        payload = packet.payload or {}
+        if packet.kind == ROUTER_SET_DISCARD:
+            self.set_discard_ports(payload.get("ports", ()))
+        else:
+            self.program_table(payload.get("table", {}))
+        ack = Packet(
+            src=self.router_id, dst=packet.src,
+            lane=packet.lane, kind=ROUTER_CTRL_ACK,
+            payload={"router_id": self.router_id,
+                     "ctrl_uid": packet.uid,
+                     "ctrl_key": payload.get("ctrl_key")},
+            flits=2,
+            source_route=list(reversed(packet.trace_ports)))
+        self._inject_reply(ack)
+
+    def _inject_reply(self, reply):
+        """Queue a router-generated reply as if it came from the local port."""
+        key = (LOCAL_PORT, reply.lane)
+        if (len(self._buffers[key]) + self._reserved[key]
+                < self._capacity(reply.lane)):
+            if not self._buffers[key]:
+                self._head_since[key] = self.sim.now
+            self._buffers[key].append(reply)
+            self.notify()
+        # else: reply lost under extreme congestion; the sender will retry.
+
+    # -- failure & reconfiguration ------------------------------------------------------
+
+    def fail(self):
+        """Router failure: lose all buffered packets, sink all arrivals."""
+        if self.failed:
+            return
+        self.failed = True
+        for buffer in self._buffers.values():
+            self.stats.dropped_failed += len(buffer)
+            buffer.clear()
+
+    def set_discard_ports(self, ports):
+        self.discard_ports = set(ports)
+        self.notify()
+
+    def program_table(self, table):
+        self.table = dict(table)
+        self.notify()
+
+    def buffered_packet_count(self):
+        return sum(len(b) for b in self._buffers.values())
+
+    def __repr__(self):
+        state = "FAILED" if self.failed else "up"
+        return "<Router %d (%s) buffered=%d>" % (
+            self.router_id, state, self.buffered_packet_count())
+
+
+class _Transfer:
+    """A packet in flight across a link."""
+
+    __slots__ = ("packet", "link", "downstream", "downstream_port")
+
+    def __init__(self, packet, link, downstream, downstream_port):
+        self.packet = packet
+        self.link = link
+        self.downstream = downstream
+        self.downstream_port = downstream_port

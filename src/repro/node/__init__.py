@@ -1,0 +1,33 @@
+"""Node hardware: memory, L2 cache, processor, I/O and the MAGIC controller."""
+
+from repro.node.memory import AddressMap, NodeMemory
+from repro.node.cache import Cache, CacheLine
+from repro.node.iodevice import IODevice
+from repro.node.magic import Magic
+from repro.node.processor import (
+    Compute,
+    FlushLine,
+    Load,
+    Processor,
+    Store,
+    UncachedLoad,
+    UncachedStore,
+)
+from repro.node.node import Node
+
+__all__ = [
+    "AddressMap",
+    "Cache",
+    "CacheLine",
+    "Compute",
+    "FlushLine",
+    "IODevice",
+    "Load",
+    "Magic",
+    "Node",
+    "NodeMemory",
+    "Processor",
+    "Store",
+    "UncachedLoad",
+    "UncachedStore",
+]

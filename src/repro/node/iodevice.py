@@ -1,0 +1,33 @@
+"""A node-attached I/O device with uncached register access.
+
+Uncached reads and writes to device registers are **nonidempotent** (paper
+§3.3): retrying one after a fault could repeat a side effect.  The device
+therefore counts every operation, and tests assert exactly-once semantics
+across recovery.  Hive avoids the problem across cells by requiring remote
+I/O to go through RPC; MAGIC bus-errors direct uncached access from outside
+the local failure unit.
+"""
+
+
+class IODevice:
+    """Register file with operation counting."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.registers = {}
+        #: per-register operation counts, for exactly-once assertions
+        self.read_counts = {}
+        self.write_counts = {}
+
+    def read(self, register):
+        self.read_counts[register] = self.read_counts.get(register, 0) + 1
+        return self.registers.get(register, 0)
+
+    def write(self, register, value):
+        self.write_counts[register] = self.write_counts.get(register, 0) + 1
+        # Model a nonidempotent side effect: writes accumulate.
+        self.registers[register] = self.registers.get(register, 0) + value
+
+    def total_operations(self):
+        return (sum(self.read_counts.values())
+                + sum(self.write_counts.values()))

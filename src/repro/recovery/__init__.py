@@ -1,0 +1,41 @@
+"""The distributed hardware recovery algorithm (paper §4).
+
+After a fault is detected, every functioning node runs a
+:class:`~repro.recovery.agent.RecoveryAgent` through four phases:
+
+* **P1 — recovery initiation** (§4.2): the processor is pulled out of normal
+  execution, the node probes its neighborhood to determine its set of
+  closest working neighbors (cwn), and a wave of pings drops every reachable
+  functioning node into recovery;
+* **P2 — information dissemination** (§4.3): lockstep rounds of state
+  exchange with cwn members until every node knows the global system state;
+  termination after ``2h`` rounds where ``h`` is the height of a BFT rooted
+  at a deterministically chosen node;
+* **P3 — interconnect recovery** (§4.4): isolate the failed regions, drain
+  stalled traffic (two-phase tau-quiet agreement), recompute deadlock-free
+  routing tables and reprogram the routers;
+* **P4 — coherence protocol recovery** (§4.5): flush all caches home, an
+  all-to-all barrier that rides behind the writebacks, then scan and reset
+  the directories, marking lines whose only valid copy was lost as
+  incoherent.
+
+The :class:`~repro.recovery.manager.RecoveryManager` is the machine-level
+harness that spawns agents when MAGIC detectors fire, memoizes the
+deterministic graph computations all nodes share, and implements the
+restart-on-new-fault rule.
+"""
+
+from repro.recovery.view import LinkStatus, NodeStatus, SystemView
+from repro.recovery.comm import RecoveryComm
+from repro.recovery.agent import RecoveryAgent
+from repro.recovery.manager import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "LinkStatus",
+    "NodeStatus",
+    "RecoveryAgent",
+    "RecoveryComm",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SystemView",
+]

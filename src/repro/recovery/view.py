@@ -1,0 +1,151 @@
+"""LState/NState: a node's view of the system, and the merge operation.
+
+During dissemination (paper §4.3) nodes repeatedly exchange and merge their
+views.  Merging must be commutative, associative and idempotent so that the
+order in which information propagates cannot matter; property tests verify
+this.
+
+Status semantics:
+
+* a node is ALIVE when *someone* received a ping reply from it (proof that
+  its processor entered recovery); DEAD when someone's pings timed out with
+  the router answering.  ALIVE wins a merge — a reply is proof of life,
+  whereas a timeout is circumstantial.
+* a link is UP when a probe crossed it; DOWN when a probe timed out.  DOWN
+  wins a merge — links do not heal, so the most pessimistic observation is
+  the most recent truth.
+"""
+
+import enum
+
+
+class NodeStatus(enum.Enum):
+    ALIVE = "alive"
+    DEAD = "dead"
+
+
+class LinkStatus(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+
+
+class SystemView:
+    """One node's knowledge of node and link health."""
+
+    __slots__ = ("nodes", "links")
+
+    def __init__(self, nodes=None, links=None):
+        self.nodes = dict(nodes or {})    # node_id -> NodeStatus
+        self.links = dict(links or {})    # frozenset({a, b}) -> LinkStatus
+
+    def observe_node(self, node_id, status):
+        current = self.nodes.get(node_id)
+        if current == NodeStatus.ALIVE:
+            return
+        self.nodes[node_id] = status
+
+    def observe_link(self, a, b, status):
+        key = frozenset((a, b))
+        current = self.links.get(key)
+        if current == LinkStatus.DOWN:
+            return
+        self.links[key] = status
+
+    def merge(self, other):
+        """Merge another view in place; returns True if anything changed."""
+        changed = False
+        for node_id, status in other.nodes.items():
+            current = self.nodes.get(node_id)
+            merged = _merge_node(current, status)
+            if merged != current:
+                self.nodes[node_id] = merged
+                changed = True
+        for key, status in other.links.items():
+            current = self.links.get(key)
+            merged = _merge_link(current, status)
+            if merged != current:
+                self.links[key] = merged
+                changed = True
+        return changed
+
+    # -- queries ---------------------------------------------------------------
+
+    def alive_nodes(self):
+        return {n for n, s in self.nodes.items() if s == NodeStatus.ALIVE}
+
+    def dead_nodes(self):
+        return {n for n, s in self.nodes.items() if s == NodeStatus.DEAD}
+
+    def down_links(self):
+        return {key for key, s in self.links.items()
+                if s == LinkStatus.DOWN}
+
+    def entry_count(self):
+        """Size of the view (drives message size and merge cost)."""
+        return len(self.nodes) + len(self.links)
+
+    # -- wire format --------------------------------------------------------------
+
+    def encode(self):
+        return {
+            "nodes": {n: s.value for n, s in self.nodes.items()},
+            "links": [(tuple(sorted(key)), s.value)
+                      for key, s in self.links.items()],
+        }
+
+    @classmethod
+    def decode(cls, wire):
+        view = cls()
+        view.nodes = {n: NodeStatus(s) for n, s in wire["nodes"].items()}
+        view.links = {frozenset(pair): LinkStatus(s)
+                      for pair, s in wire["links"]}
+        return view
+
+    def copy(self):
+        return SystemView(self.nodes, self.links)
+
+    def signature(self):
+        """Hashable digest used to detect stabilization across rounds."""
+        return (frozenset(self.nodes.items()),
+                frozenset(self.links.items()))
+
+    def __eq__(self, other):
+        return (isinstance(other, SystemView)
+                and self.nodes == other.nodes and self.links == other.links)
+
+    def __repr__(self):
+        return "<SystemView alive=%s dead=%s down_links=%d>" % (
+            sorted(self.alive_nodes()), sorted(self.dead_nodes()),
+            len(self.down_links()))
+
+
+def _merge_node(current, incoming):
+    if current is None:
+        return incoming
+    if NodeStatus.ALIVE in (current, incoming):
+        return NodeStatus.ALIVE
+    return current
+
+
+def _merge_link(current, incoming):
+    if current is None:
+        return incoming
+    if LinkStatus.DOWN in (current, incoming):
+        return LinkStatus.DOWN
+    return current
+
+
+def surviving_adjacency_from_view(topology, view):
+    """Router-level adjacency implied by a (stabilized) view.
+
+    Routers of DEAD nodes still forward (the controller died, not the
+    router) *unless* every link to them is down — a fully disconnected or
+    failed router looks identical from outside, and the distinction is
+    irrelevant for routing.  Links not present in the view default to UP:
+    probes only record what they saw, and an unprobed link lies beyond a
+    failure frontier (its status cannot matter for the surviving region).
+    """
+    from repro.interconnect.routing import surviving_adjacency
+
+    return surviving_adjacency(
+        topology, dead_nodes=(), dead_links=view.down_links())

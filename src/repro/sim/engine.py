@@ -1,0 +1,118 @@
+"""The simulator core: a time-ordered event heap and a virtual clock.
+
+Times are floats in nanoseconds.  Determinism is guaranteed by breaking time
+ties with a monotonically increasing sequence number, and by routing all
+randomness through the simulator-owned :class:`random.Random` instance.
+"""
+
+import heapq
+import itertools
+import random
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; allows cancellation."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time, callback, args):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven simulator with a nanosecond-resolution virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned RNG.  All stochastic model decisions
+        must draw from :attr:`rng` so that runs are reproducible.
+    """
+
+    def __init__(self, seed=0):
+        self._now = 0.0
+        self._heap = []
+        self._seq = itertools.count()
+        self.rng = random.Random(seed)
+        self._processes = []
+
+    @property
+    def now(self):
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Run ``callback(*args)`` after ``delay`` ns; returns a handle."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past (delay=%r)" % delay)
+        call = ScheduledCall(self._now + delay, callback, args)
+        heapq.heappush(self._heap, (call.time, next(self._seq), call))
+        return call
+
+    def schedule_at(self, time, callback, *args):
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def spawn(self, generator, name=None):
+        """Create a :class:`Process` driving ``generator``; starts at now."""
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def step(self):
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            time, _, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self._now = time
+            call.callback(*call.args)
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run until the heap is empty or the clock passes ``until``."""
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        while self._heap:
+            time, _, call = self._heap[0]
+            if time > until:
+                break
+            heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self._now = time
+            call.callback(*call.args)
+        self._now = max(self._now, until)
+        return self._now
+
+    def run_until(self, predicate, check_interval=1000.0, limit=None):
+        """Run until ``predicate()`` is true, polling between events.
+
+        The predicate is evaluated after every executed event; ``limit`` (ns)
+        bounds the run to guard against livelock in tests.
+        """
+        while not predicate():
+            if limit is not None and self._now > limit:
+                raise TimeoutError(
+                    "run_until exceeded limit of %r ns" % limit)
+            if not self.step():
+                raise RuntimeError(
+                    "event heap drained before predicate became true")
+        return self._now
+
+    @property
+    def pending_events(self):
+        """Number of scheduled (possibly cancelled) events."""
+        return len(self._heap)

@@ -1,0 +1,255 @@
+"""Generator-based processes and the waitables they can yield.
+
+A process generator may yield:
+
+* a number — sleep that many nanoseconds;
+* an :class:`Event` — resume when it triggers (with the event's value);
+* another :class:`Process` — resume when it terminates;
+* an :class:`AllOf` / :class:`AnyOf` — composite waits;
+* a channel ``get()`` (which is an :class:`Event` under the hood).
+
+``Process.interrupt(cause)`` throws :class:`Interrupt` into the generator at
+the current simulation time, cancelling whatever it was waiting for.  This is
+the simulation analog of the forced bus parity error / Cache Error exception
+MAGIC uses to pull the R10000 out of normal execution (paper §4.2).
+"""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot level-triggered event carrying an optional value."""
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value = None
+        self._waiters = []
+
+    def trigger(self, value=None):
+        """Fire the event, resuming all waiters at the current time."""
+        if self.triggered:
+            raise RuntimeError("event %r triggered twice" % (self.name,))
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, value)
+
+    def subscribe(self, callback):
+        """Invoke ``callback(value)`` once the event fires."""
+        if self.triggered:
+            self.sim.schedule(0.0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def unsubscribe(self, callback):
+        if callback in self._waiters:
+            self._waiters.remove(callback)
+
+
+class Timeout:
+    """Explicit timeout waitable (yielding a bare number is equivalent)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        self.delay = delay
+
+
+class AllOf:
+    """Wait for every event in a collection; value is the list of values."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Wait for the first event in a collection; value is (index, value)."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+
+class Process:
+    """Drives a generator, resuming it as its yielded waits complete."""
+
+    def __init__(self, sim, generator, name=None):
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.alive = True
+        self.result = None
+        self.exception = None
+        self.exit_event = Event(sim, name="%s.exit" % self.name)
+        self._pending_timeout = None       # ScheduledCall handle
+        self._pending_unsubscribe = None   # callable to cancel event waits
+        self._executing = False            # generator currently running
+        self._kill_requested = False       # self-kill during execution
+        sim.schedule(0.0, self._step, None, None)
+
+    # -- wait plumbing -----------------------------------------------------
+
+    def _step(self, send_value, throw_exc):
+        if not self.alive:
+            return
+        # Invalidate any wait that is still armed: when an interrupt races
+        # with an already-scheduled event resume, the loser must become a
+        # no-op rather than resume the generator at the wrong yield point.
+        self._cancel_pending_wait()
+        self._executing = True
+        try:
+            if throw_exc is not None:
+                yielded = self.generator.throw(throw_exc)
+            else:
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Interrupt as exc:
+            # Generator chose not to handle the interrupt: terminate quietly.
+            self._finish(exception=exc, raise_unhandled=False)
+            return
+        except Exception as exc:  # propagate: a crashed model is a test bug
+            self._finish(exception=exc, raise_unhandled=True)
+            return
+        finally:
+            self._executing = False
+        if self._kill_requested:
+            # The process was killed from within its own execution (e.g. a
+            # handler tearing down its own service): finish now that the
+            # generator has yielded control.
+            self.generator.close()
+            self._finish(result=None)
+            return
+        self._arm(yielded)
+
+    def _arm(self, yielded):
+        if isinstance(yielded, (int, float)):
+            self._pending_timeout = self.sim.schedule(
+                float(yielded), self._step, None, None)
+        elif isinstance(yielded, Timeout):
+            self._pending_timeout = self.sim.schedule(
+                yielded.delay, self._step, None, None)
+        elif isinstance(yielded, Event):
+            callback = self._make_event_callback()
+            yielded.subscribe(callback)
+            self._pending_unsubscribe = lambda: (
+                yielded.unsubscribe(callback), callback.cancel())
+        elif isinstance(yielded, Process):
+            callback = self._make_event_callback()
+            yielded.exit_event.subscribe(callback)
+            self._pending_unsubscribe = lambda: (
+                yielded.exit_event.unsubscribe(callback), callback.cancel())
+        elif isinstance(yielded, AllOf):
+            self._arm_all_of(yielded)
+        elif isinstance(yielded, AnyOf):
+            self._arm_any_of(yielded)
+        else:
+            raise TypeError(
+                "process %s yielded unsupported %r" % (self.name, yielded))
+
+    def _make_event_callback(self):
+        armed = {"live": True}
+
+        def callback(value):
+            if armed["live"] and self.alive:
+                armed["live"] = False
+                self._step(value, None)
+
+        def cancel():
+            armed["live"] = False
+
+        callback.cancel = cancel
+        return callback
+
+    def _arm_all_of(self, all_of):
+        remaining = {"count": len(all_of.events), "live": True}
+        values = [None] * len(all_of.events)
+        if remaining["count"] == 0:
+            self.sim.schedule(0.0, self._step, values, None)
+            return
+
+        def make_callback(index):
+            def callback(value):
+                if not remaining["live"] or not self.alive:
+                    return
+                values[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    remaining["live"] = False
+                    self._step(values, None)
+            return callback
+
+        for index, event in enumerate(all_of.events):
+            event.subscribe(make_callback(index))
+        self._pending_unsubscribe = (
+            lambda: remaining.__setitem__("live", False))
+
+    def _arm_any_of(self, any_of):
+        state = {"live": True}
+
+        def make_callback(index):
+            def callback(value):
+                if state["live"] and self.alive:
+                    state["live"] = False
+                    self._step((index, value), None)
+            return callback
+
+        for index, event in enumerate(any_of.events):
+            event.subscribe(make_callback(index))
+        self._pending_unsubscribe = lambda: state.__setitem__("live", False)
+
+    def _cancel_pending_wait(self):
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        if self._pending_unsubscribe is not None:
+            self._pending_unsubscribe()
+            self._pending_unsubscribe = None
+
+    def _finish(self, result=None, exception=None, raise_unhandled=False):
+        self.alive = False
+        self.result = result
+        self.exception = exception
+        self._cancel_pending_wait()
+        self.exit_event.trigger(result)
+        if raise_unhandled and exception is not None:
+            raise exception
+
+    # -- public API ----------------------------------------------------------
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the generator at the current time."""
+        if not self.alive:
+            return
+        self._cancel_pending_wait()
+        self.sim.schedule(0.0, self._step, None, Interrupt(cause))
+
+    def kill(self):
+        """Terminate the process without running any more of its code.
+
+        Safe to call from within the process itself: termination is then
+        deferred until the generator yields control back to the kernel.
+        """
+        if not self.alive:
+            return
+        if self._executing:
+            self._kill_requested = True
+            return
+        self._cancel_pending_wait()
+        self.generator.close()
+        self._finish(result=None)
+
+    def __repr__(self):
+        state = "alive" if self.alive else "dead"
+        return "<Process %s (%s)>" % (self.name, state)

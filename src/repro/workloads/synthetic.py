@@ -1,0 +1,53 @@
+"""Synthetic sharing-pattern generators used by stress tests and benches."""
+
+import random
+
+from repro.node.processor import Compute, Load, Store
+
+
+def uniform_traffic_program(machine, node_id, ops, seed,
+                            write_fraction=0.3, think_time=100.0):
+    """Random loads/stores across the whole machine."""
+    rng = random.Random("%s-%s-uniform" % (seed, node_id))
+    all_lines = machine.all_usable_lines()
+    for _ in range(ops):
+        line = rng.choice(all_lines)
+        if rng.random() < write_fraction:
+            yield Store(line)
+        else:
+            yield Load(line)
+        if think_time:
+            yield Compute(think_time)
+
+
+def hot_line_program(machine, node_id, ops, hot_home, think_time=50.0):
+    """All nodes hammer a single contended line homed at ``hot_home``."""
+    line = machine.line_homed_at(hot_home)
+    for index in range(ops):
+        if index % 2 == 0:
+            yield Store(line, value=("hot", node_id, index))
+        else:
+            yield Load(line)
+        if think_time:
+            yield Compute(think_time)
+
+
+def producer_consumer_program(machine, node_id, producer, lines, rounds,
+                              think_time=200.0):
+    """One producer writes a block of lines; consumers read it."""
+    for round_no in range(rounds):
+        for line in lines:
+            if node_id == producer:
+                yield Store(line, value=("pc", round_no, line))
+            else:
+                yield Load(line)
+        yield Compute(think_time)
+
+
+def migratory_program(machine, node_ids, my_id, line, rounds):
+    """A line migrates around a set of nodes, written by each in turn."""
+    position = sorted(node_ids).index(my_id)
+    for round_no in range(rounds):
+        # Stagger by position so ownership hops node to node.
+        yield Compute(100.0 * position + 10.0)
+        yield Store(line, value=("mig", my_id, round_no))

@@ -1,0 +1,59 @@
+"""Tests for the analysis helpers and the command-line interface."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_series,
+    format_table,
+    shape_check_monotone,
+)
+from repro.cli import build_parser, main
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].startswith("-")
+        assert "33" in lines[4]
+
+    def test_format_series_headers(self):
+        text = format_series("S", "x", ["y1", "y2"], [(1, 2, 3)])
+        assert "x" in text and "y1" in text and "y2" in text
+
+    def test_monotone_accepts_increasing(self):
+        assert shape_check_monotone([1, 2, 3, 10])
+
+    def test_monotone_rejects_big_dip(self):
+        assert not shape_check_monotone([10, 5, 20])
+
+    def test_monotone_tolerates_small_dip(self):
+        assert shape_check_monotone([10.0, 9.5, 20.0], tolerance=0.10)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["validate", "--fault", "false_alarm", "--target", "1"])
+        assert args.fault == "false_alarm"
+
+    def test_link_fault_requires_second_target(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--fault", "link_failure", "--target", "0",
+                  "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8"])
+
+    def test_validate_command_runs(self, capsys):
+        code = main(["validate", "--fault", "false_alarm", "--target", "0",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_scale_command_runs(self, capsys):
+        code = main(["scale", "--nodes", "2", "4",
+                     "--mem-kb", "64", "--l2-kb", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total [ms]" in out

@@ -1,0 +1,105 @@
+"""End-to-end Hive + parallel-make experiment tests (paper Table 5.4)."""
+
+import pytest
+
+from repro.faults.models import FaultSpec
+from repro.hive.endtoend import (
+    expected_dead_cells,
+    run_end_to_end_experiment,
+)
+from repro.hive.os import HiveConfig
+
+
+def config(seed, **overrides):
+    defaults = dict(cells=8, mem_per_node=1 << 17, l2_size=1 << 13,
+                    seed=seed)
+    defaults.update(overrides)
+    return HiveConfig(**defaults)
+
+
+@pytest.mark.parametrize("fault_factory, expected_survivor_compiles", [
+    (lambda: FaultSpec.node_failure(3), 7),
+    (lambda: FaultSpec.router_failure(6), 7),
+    (lambda: FaultSpec.infinite_loop(2), 7),
+    (lambda: FaultSpec.link_failure(0, 1), 8),
+], ids=["node", "router", "loop", "link"])
+def test_surviving_compiles_finish_correctly(fault_factory,
+                                             expected_survivor_compiles):
+    result = run_end_to_end_experiment(
+        fault_factory(), hive_config=config(seed=61))
+    assert result.recovered and result.os_recovered
+    assert result.compiles_expected == expected_survivor_compiles
+    assert result.compiles_correct == expected_survivor_compiles
+    assert not result.failed, result.failure_reason
+
+
+def test_file_server_failure_affects_every_compile():
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(0), hive_config=config(seed=62))
+    assert result.recovered
+    assert result.compiles_expected == 0   # everyone depends on the server
+    assert not result.failed
+
+
+def test_late_injection_after_build_completes():
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(5), hive_config=config(seed=63),
+        inject_delay=60_000_000.0)
+    assert result.recovered
+    assert not result.failed
+
+
+def test_early_injection_before_much_progress():
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(5), hive_config=config(seed=64),
+        inject_delay=100_000.0)
+    assert result.recovered
+    assert not result.failed, result.failure_reason
+
+
+def test_bug_emulation_produces_paper_failure_mode():
+    """With the Hive-bug emulation forced on, a client death that leaves
+    incoherent shared-log lines crashes a surviving cell — the run counts
+    as failed, like the paper's 99/1187."""
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(3),
+        hive_config=config(seed=65, os_incoherent_bug_rate=1.0))
+    assert result.recovered
+    assert result.failed
+    assert ("crashed" in result.failure_reason
+            or "state=" in result.failure_reason)
+
+
+def test_no_bug_emulation_means_no_failures():
+    for seed in (66, 67):
+        result = run_end_to_end_experiment(
+            FaultSpec.node_failure(4),
+            hive_config=config(seed=seed, os_incoherent_bug_rate=0.0))
+        assert not result.failed, result.failure_reason
+
+
+def test_recovery_times_reported():
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(2), hive_config=config(seed=68))
+    assert result.hw_recovery_ns > 0
+    assert result.os_recovery_ns > 0
+
+
+def test_expected_dead_cells_for_multi_node_cells():
+    hive_config = config(seed=69, cells=4, nodes_per_cell=2)
+    from repro.hive.os import HiveOS
+    hive = HiveOS(hive_config)
+    fault = FaultSpec.node_failure(5)   # node 5 belongs to cell 2
+    assert expected_dead_cells(hive, fault) == {2}
+    assert expected_dead_cells(hive, FaultSpec.link_failure(0, 1)) == set()
+
+
+def test_multi_node_cells_end_to_end():
+    """Cells spanning two nodes: killing one node takes the whole cell
+    (its failure unit) but nothing else."""
+    result = run_end_to_end_experiment(
+        FaultSpec.node_failure(5),
+        hive_config=config(seed=70, cells=4, nodes_per_cell=2))
+    assert result.recovered
+    assert result.compiles_expected == 3
+    assert not result.failed, result.failure_reason

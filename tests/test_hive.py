@@ -1,0 +1,252 @@
+"""Tests for the Hive OS model: RPC, cells, containment, OS recovery."""
+
+import pytest
+
+from repro.faults.models import FaultSpec
+from repro.hive.os import HiveConfig, HiveOS
+from repro.hive.rpc import CellDownError
+from repro.node.processor import Load, Store
+
+
+def small_hive(cells=4, **overrides):
+    defaults = dict(cells=cells, mem_per_node=1 << 16, l2_size=1 << 13,
+                    seed=21)
+    defaults.update(overrides)
+    return HiveOS(HiveConfig(**defaults)).start()
+
+
+class TestRpc:
+    def test_basic_call(self):
+        hive = small_hive()
+        hive.cells[1].rpc.register(
+            "echo", lambda caller, payload: {"echo": payload, "from": caller})
+        results = []
+
+        def caller():
+            reply = yield from hive.cells[0].rpc.call(1, "echo", "hello")
+            results.append(reply)
+
+        hive.sim.spawn(caller())
+        hive.sim.run(until=10_000_000)
+        assert results == [{"echo": "hello", "from": 0}]
+
+    def test_handler_runs_exactly_once_despite_retransmits(self):
+        hive = small_hive()
+        executions = []
+        hive.cells[1].rpc.register(
+            "count", lambda caller, payload: executions.append(1) or {"n": 1})
+        # Force retransmissions by making the first sends vanish: wedge the
+        # path briefly via a link failure, recover, then complete.
+        results = []
+
+        def caller():
+            reply = yield from hive.cells[0].rpc.call(1, "count", None)
+            results.append(reply)
+
+        hive.sim.spawn(caller())
+        hive.sim.run(until=30_000_000)
+        assert results and len(executions) == 1
+
+    def test_duplicate_requests_served_from_cache(self):
+        hive = small_hive()
+        executions = []
+        hive.cells[1].rpc.register(
+            "svc", lambda caller, payload: executions.append(1) or {"ok": 1})
+        endpoint = hive.cells[1].rpc
+        # Deliver the same request body twice, as a retransmission would.
+        body = {"rpc": "req", "service": "svc", "payload": None,
+                "seq": 77, "caller": 0}
+        endpoint._handle_request(dict(body))
+        endpoint._handle_request(dict(body))
+        assert len(executions) == 1
+        assert endpoint.stats_duplicates_dropped == 1
+
+    def test_call_to_known_dead_cell_raises(self):
+        hive = small_hive()
+        hive.cells[0].rpc.mark_cell_dead(2)
+        failures = []
+
+        def caller():
+            try:
+                yield from hive.cells[0].rpc.call(2, "x", None)
+            except CellDownError as error:
+                failures.append(error.cell_id)
+
+        hive.sim.spawn(caller())
+        hive.sim.run(until=1_000_000)
+        assert failures == [2]
+
+    def test_unknown_service_returns_error(self):
+        hive = small_hive()
+        results = []
+
+        def caller():
+            reply = yield from hive.cells[0].rpc.call(1, "nope", None)
+            results.append(reply)
+
+        hive.sim.spawn(caller())
+        hive.sim.run(until=10_000_000)
+        assert "error" in results[0]
+
+
+class TestKernelContainment:
+    def test_kernel_pages_firewalled(self):
+        """Another cell's (wild or speculative) write to kernel data must
+        bus-error instead of corrupting it (§3.3)."""
+        from repro.common.errors import BusError
+        from repro.common.types import BusErrorKind
+        hive = small_hive()
+        victim_line = hive.cells[1].kernel_lines[0]
+        caught = []
+
+        def attacker():
+            try:
+                yield Store(victim_line, value="corruption")
+            except BusError as error:
+                caught.append(error.kind)
+
+        hive.machine.nodes[hive.cells[0].lead_node].processor.run_program(
+            attacker())
+        hive.sim.run(until=5_000_000)
+        assert caught == [BusErrorKind.FIREWALL]
+
+    def test_kernel_pages_readable_by_other_cells(self):
+        hive = small_hive()
+        victim_line = hive.cells[1].kernel_lines[0]
+        values = []
+
+        def reader():
+            values.append((yield Load(victim_line)))
+
+        hive.machine.nodes[hive.cells[0].lead_node].processor.run_program(
+            reader())
+        hive.sim.run(until=5_000_000)
+        assert len(values) == 1
+
+    def test_own_cell_can_write_kernel_pages(self):
+        hive = small_hive()
+        line = hive.cells[1].kernel_lines[0]
+        results = []
+
+        def kernel_write():
+            value = yield from hive.cells[1].kernel_access(
+                Store(line, value="mine"))
+            results.append(value)
+
+        hive.sim.spawn(kernel_write())
+        hive.sim.run(until=5_000_000)
+        assert results == ["mine"]
+
+    def test_cells_survive_fault_outside_their_unit(self):
+        hive = small_hive()
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[3].lead_node))
+        hive.sim.run(until=300_000_000)
+        assert hive.machine.recovery_manager.reports
+        # Cells 0-2 are intact; only cell 3's unit faulted.
+        for cell in hive.cells[:3]:
+            assert cell.alive, cell
+        assert not hive.cells[3].alive
+        assert hive.panics == []   # shutdown, not panic
+
+
+class TestOsRecovery:
+    def test_os_recovery_runs_after_hw_recovery(self):
+        hive = small_hive()
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[2].lead_node))
+        hive.sim.run(until=400_000_000)
+        assert hive.os_recovery_reports
+        hw_report, start, end = hive.os_recovery_reports[-1]
+        assert start >= hw_report.complete_time
+        assert end > start
+
+    def test_processes_with_dead_dependencies_terminated(self):
+        hive = small_hive()
+
+        def forever():
+            while True:
+                yield 1_000_000.0
+
+        survivor = hive.spawn_process(0, "indep", forever(),
+                                      dependencies=set())
+        dependent = hive.spawn_process(1, "dep", forever(),
+                                       dependencies={2})
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[2].lead_node))
+        hive.sim.run(until=400_000_000)
+        assert dependent.state == "terminated"
+        assert survivor.state == "running"
+
+    def test_processes_on_dead_cell_terminated(self):
+        hive = small_hive()
+
+        def forever():
+            while True:
+                yield 1_000_000.0
+
+        doomed = hive.spawn_process(2, "doomed", forever())
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[2].lead_node))
+        hive.sim.run(until=400_000_000)
+        assert doomed.state == "terminated"
+
+    def test_rpc_to_dead_cell_aborted_by_os_recovery(self):
+        hive = small_hive()
+        hive.cells[2].rpc.register("slow", lambda c, p: {"ok": 1})
+        failures = []
+        # Kill cell 2's node, then start an RPC toward it: the request
+        # vanishes, retransmissions go nowhere, and OS recovery finally
+        # aborts the call.
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[2].lead_node))
+
+        def caller():
+            try:
+                yield from hive.cells[0].rpc.call(2, "slow", None)
+            except CellDownError as error:
+                failures.append(error.cell_id)
+
+        hive.sim.spawn(caller())
+        hive.sim.run(until=400_000_000)
+        assert failures == [2]
+
+    def test_user_processes_gated_on_os_recovery(self):
+        """User-level execution resumes only after OS recovery (§4.6)."""
+        hive = small_hive()
+        progress = []
+
+        def worker():
+            for index in range(400):
+                line = hive.cells[0].kernel_lines[0]
+                yield from hive.cells[0].kernel_access(Load(line))
+                progress.append(hive.sim.now)
+                yield 100_000.0
+
+        hive.spawn_process(0, "worker", worker())
+        hive.sim.run(until=3_000_000)
+        hive.machine.injector.inject(FaultSpec.node_failure(
+            hive.cells[3].lead_node))
+        hive.sim.run(until=400_000_000)
+        hw_report, os_start, os_end = hive.os_recovery_reports[-1]
+        # The §4.6 guarantee: hardware recovery completing does NOT release
+        # user processes; they stay suspended until OS recovery finishes.
+        gap_edges = [t for t in progress
+                     if hw_report.complete_time < t < os_end]
+        assert gap_edges == []
+        # ...and they do resume afterwards.
+        assert any(t > os_end for t in progress)
+
+
+class TestBugEmulation:
+    def test_bug_rate_zero_never_panics(self):
+        hive = small_hive(os_incoherent_bug_rate=0.0)
+        for _ in range(50):
+            assert not hive.maybe_trip_incoherent_bug(hive.cells[1])
+        assert hive.cells[1].alive
+
+    def test_bug_rate_one_always_panics(self):
+        hive = small_hive(os_incoherent_bug_rate=1.0)
+        assert hive.maybe_trip_incoherent_bug(hive.cells[1])
+        assert not hive.cells[1].alive
+        assert hive.panics

@@ -1,0 +1,104 @@
+"""Unit tests for the address map and node memory."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.node.memory import AddressMap, NodeMemory, initial_value
+
+
+def make_map(num_nodes=4, mem=1 << 20):
+    return AddressMap(num_nodes, mem)
+
+
+class TestAddressMap:
+    def test_home_of_partitions_address_space(self):
+        address_map = make_map()
+        assert address_map.home_of(0) == 0
+        assert address_map.home_of((1 << 20) - 1) == 0
+        assert address_map.home_of(1 << 20) == 1
+        assert address_map.home_of(4 * (1 << 20) - 1) == 3
+
+    def test_out_of_range_rejected(self):
+        address_map = make_map()
+        with pytest.raises(ConfigurationError):
+            address_map.home_of(4 << 20)
+        with pytest.raises(ConfigurationError):
+            address_map.home_of(-1)
+
+    def test_line_alignment(self):
+        address_map = make_map()
+        assert address_map.line_address(0x123) == 0x100
+        assert address_map.line_address(0x100) == 0x100
+
+    def test_vector_range_is_low_addresses(self):
+        address_map = make_map()
+        assert address_map.is_vector_range(0)
+        assert address_map.is_vector_range(4095)
+        assert not address_map.is_vector_range(4096)
+
+    def test_magic_region_at_top_of_node(self):
+        address_map = make_map()
+        start = address_map.magic_region_start(1)
+        assert address_map.is_magic_region(start)
+        assert address_map.is_magic_region(start + 8191)
+        assert not address_map.is_magic_region(start - 1)
+        assert not address_map.is_magic_region(start + 8192)   # I/O region
+
+    def test_io_region_above_magic_region(self):
+        address_map = make_map()
+        io_start = address_map.io_region_start(2)
+        assert address_map.is_io_region(io_start)
+        assert address_map.home_of(io_start) == 2
+        assert io_start == address_map.magic_region_start(2) + 8192
+
+    def test_usable_range_excludes_reserved_regions(self):
+        address_map = make_map()
+        start, end = address_map.usable_range(0)
+        assert start == 4096              # node 0 skips the vector range
+        assert end == address_map.magic_region_start(0)
+        start_1, _ = address_map.usable_range(1)
+        assert start_1 == 1 << 20
+
+    def test_usable_lines_are_line_aligned(self):
+        address_map = make_map()
+        lines = list(address_map.usable_lines(1))
+        assert all(line % 128 == 0 for line in lines)
+        assert len(lines) == (address_map.usable_range(1)[1]
+                              - address_map.usable_range(1)[0]) // 128
+
+    def test_too_small_node_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(2, 8192)
+
+    def test_unaligned_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(2, (1 << 20) + 3)
+
+
+class TestNodeMemory:
+    def test_initial_value_is_deterministic(self):
+        assert initial_value(0x100) == initial_value(0x100)
+
+    def test_read_before_write_returns_initial(self):
+        memory = NodeMemory(1, make_map())
+        line = (1 << 20) + 0x100
+        assert memory.read_line(line) == initial_value(line)
+
+    def test_write_then_read(self):
+        memory = NodeMemory(1, make_map())
+        line = (1 << 20) + 0x100
+        memory.write_line(line, "data")
+        assert memory.read_line(line) == "data"
+
+    def test_foreign_line_rejected(self):
+        memory = NodeMemory(1, make_map())
+        with pytest.raises(KeyError):
+            memory.read_line(0x100)   # homed at node 0
+        with pytest.raises(KeyError):
+            memory.write_line(0x100, "x")
+
+    def test_vector_replica_is_per_node(self):
+        map_ = make_map()
+        value_1 = NodeMemory(1, map_).read_vector(0x80)
+        value_2 = NodeMemory(2, map_).read_vector(0x80)
+        assert value_1 != value_2

@@ -1,0 +1,353 @@
+"""Functional tests for the assembled interconnect fabric."""
+
+import pytest
+
+from repro.common.params import TimingParams
+from repro.common.types import Lane
+from repro.interconnect.network import Network
+from repro.interconnect.packet import Packet, ROUTER_PROBE, ROUTER_PROBE_REPLY
+from repro.interconnect.routing import compute_source_route
+from repro.interconnect.topology import Mesh2D
+from repro.sim import Simulator
+
+
+def build(width=3, height=3, **param_overrides):
+    sim = Simulator(seed=1)
+    params = TimingParams(**param_overrides)
+    network = Network(sim, params, Mesh2D(width, height))
+    network.start()
+    return sim, params, network
+
+
+def drain_all(sim, network, node_id, collected):
+    """Consumer process storing every packet delivered to ``node_id``."""
+    interface = network.interface(node_id)
+
+    def consumer():
+        while True:
+            packet = yield interface.receive()
+            collected.append((sim.now, packet))
+
+    return sim.spawn(consumer(), name="drain%d" % node_id)
+
+
+class TestDelivery:
+    def test_single_packet_delivered(self):
+        sim, _, network = build()
+        received = []
+        drain_all(sim, network, 8, received)
+        network.interface(0).send(
+            Packet(src=0, dst=8, lane=Lane.REQUEST, kind="test"))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        assert received[0][1].kind == "test"
+        assert received[0][1].hops == 4   # 0 -> 8 in a 3x3 mesh
+
+    def test_latency_scales_with_hops(self):
+        sim, params, network = build(4, 1)
+        received = []
+        drain_all(sim, network, 1, received)
+        drain_all(sim, network, 3, received)
+        network.interface(0).send(
+            Packet(src=0, dst=1, lane=Lane.REQUEST, kind="near"))
+        network.interface(0).send(
+            Packet(src=0, dst=3, lane=Lane.REQUEST, kind="far"))
+        sim.run(until=1_000_000)
+        by_kind = {p.kind: t for t, p in received}
+        assert by_kind["far"] > by_kind["near"]
+
+    def test_in_order_delivery_same_lane(self):
+        sim, _, network = build()
+        received = []
+        drain_all(sim, network, 4, received)
+        for seq in range(10):
+            network.interface(0).send(
+                Packet(src=0, dst=4, lane=Lane.REQUEST,
+                       kind="seq", payload=seq))
+        sim.run(until=1_000_000)
+        assert [p.payload for _, p in received] == list(range(10))
+
+    def test_bidirectional_traffic(self):
+        sim, _, network = build()
+        received_a, received_b = [], []
+        drain_all(sim, network, 0, received_a)
+        drain_all(sim, network, 8, received_b)
+        network.interface(0).send(
+            Packet(src=0, dst=8, lane=Lane.REQUEST, kind="ab"))
+        network.interface(8).send(
+            Packet(src=8, dst=0, lane=Lane.REQUEST, kind="ba"))
+        sim.run(until=1_000_000)
+        assert len(received_a) == 1 and len(received_b) == 1
+
+    def test_many_to_one_all_delivered(self):
+        sim, _, network = build()
+        received = []
+        drain_all(sim, network, 4, received)
+        for src in range(9):
+            if src == 4:
+                continue
+            for i in range(5):
+                network.interface(src).send(
+                    Packet(src=src, dst=4, lane=Lane.REQUEST,
+                           kind="m", payload=(src, i)))
+        sim.run(until=10_000_000)
+        assert len(received) == 40
+
+
+class TestSourceRouting:
+    def test_source_routed_packet_follows_route(self):
+        sim, _, network = build(3, 1)
+        received = []
+        drain_all(sim, network, 2, received)
+        route = [Mesh2D.EAST, Mesh2D.EAST]
+        network.interface(0).send(
+            Packet(src=0, dst=2, lane=Lane.RECOVERY_A, kind="sr",
+                   source_route=route))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        assert received[0][1].trace_ports == [Mesh2D.WEST, Mesh2D.WEST]
+
+    def test_reversed_trace_reaches_origin(self):
+        sim, _, network = build(3, 3)
+        received = []
+        drain_all(sim, network, 0, received)
+        adjacency = network.true_surviving_adjacency()
+        route = compute_source_route(adjacency, 8, 0)
+        network.interface(8).send(
+            Packet(src=8, dst=0, lane=Lane.RECOVERY_A, kind="fwd",
+                   source_route=route))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        reply_route = list(reversed(received[0][1].trace_ports))
+        received_back = []
+        drain_all(sim, network, 8, received_back)
+        network.interface(0).send(
+            Packet(src=0, dst=8, lane=Lane.RECOVERY_A, kind="reply",
+                   source_route=reply_route))
+        sim.run(until=2_000_000)
+        assert len(received_back) == 1
+
+
+class TestRouterProbes:
+    def test_probe_answered_by_live_router(self):
+        sim, _, network = build(2, 1)
+        received = []
+        drain_all(sim, network, 0, received)
+        network.interface(0).send(
+            Packet(src=0, dst=None, lane=Lane.RECOVERY_A,
+                   kind=ROUTER_PROBE, source_route=[Mesh2D.EAST]))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        reply = received[0][1]
+        assert reply.kind == ROUTER_PROBE_REPLY
+        assert reply.payload["router_id"] == 1
+
+    def test_probe_into_failed_router_unanswered(self):
+        sim, _, network = build(2, 1)
+        received = []
+        drain_all(sim, network, 0, received)
+        network.fail_router(1)
+        network.interface(0).send(
+            Packet(src=0, dst=None, lane=Lane.RECOVERY_A,
+                   kind=ROUTER_PROBE, source_route=[Mesh2D.EAST]))
+        sim.run(until=1_000_000)
+        assert received == []
+
+    def test_probe_answered_when_node_dead_but_router_alive(self):
+        sim, _, network = build(2, 1)
+        received = []
+        drain_all(sim, network, 0, received)
+        network.fail_node_interface(1)   # node dead, router powered
+        network.interface(0).send(
+            Packet(src=0, dst=None, lane=Lane.RECOVERY_A,
+                   kind=ROUTER_PROBE, source_route=[Mesh2D.EAST]))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+
+
+class TestFailures:
+    def test_failed_node_sinks_packets(self):
+        sim, _, network = build(2, 1)
+        network.fail_node_interface(1)
+        network.interface(0).send(
+            Packet(src=0, dst=1, lane=Lane.REQUEST, kind="doomed"))
+        sim.run(until=1_000_000)
+        assert len(network.interface(1).inbox) == 0
+
+    def test_failed_link_black_holes_traffic(self):
+        sim, _, network = build(2, 1)
+        received = []
+        drain_all(sim, network, 1, received)
+        network.fail_link(0, 1)
+        network.interface(0).send(
+            Packet(src=0, dst=1, lane=Lane.REQUEST, kind="doomed"))
+        sim.run(until=1_000_000)
+        assert received == []
+        assert network.router(0).stats.dropped_link == 1
+
+    def test_link_failure_truncates_in_flight_packet(self):
+        sim, params, network = build(2, 1)
+        received = []
+        drain_all(sim, network, 1, received)
+        network.interface(0).send(
+            Packet(src=0, dst=1, lane=Lane.REQUEST, kind="data",
+                   payload="precious", flits=9))
+        # Let the transfer start, then fail the link mid-flight.
+        transfer_start = 5.0
+        sim.run(until=transfer_start)
+        # The packet should now be on the wire.
+        link = network.link_between(0, 1)
+        assert link.in_flight, "expected packet in flight"
+        network.fail_link(0, 1)
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        packet = received[0][1]
+        assert packet.truncated
+        assert packet.payload is None
+
+    def test_failed_router_drops_buffered_packets(self):
+        # Wedge node 2 so the flood backs up into router 1's buffers, then
+        # fail router 1: whatever it held must be lost.
+        sim, _, network = build(3, 1, magic_inbox_capacity=1,
+                                buffer_capacity=1)
+        network.wedge_node_interface(2)
+        for _ in range(6):
+            network.interface(0).send(
+                Packet(src=0, dst=2, lane=Lane.REQUEST, kind="through"))
+        sim.run(until=100_000)
+        assert network.router(1).buffered_packet_count() >= 1
+        network.fail_router(1)
+        sim.run(until=1_000_000)
+        assert network.router(1).stats.dropped_failed >= 1
+        assert network.router(1).buffered_packet_count() == 0
+
+    def test_wedged_interface_backs_up_traffic(self):
+        """A controller that stops accepting packets congests the fabric
+        (paper §3.1: infinite-loop firmware fault)."""
+        sim, params, network = build(3, 1, magic_inbox_capacity=2,
+                                     buffer_capacity=2)
+        network.wedge_node_interface(2)
+        for i in range(30):
+            network.interface(0).send(
+                Packet(src=0, dst=2, lane=Lane.REQUEST,
+                       kind="flood", payload=i))
+        sim.run(until=5_000_000)
+        # Traffic must be stuck: buffered in routers or in the source outbox,
+        # with the wedged inbox full.
+        inbox_depth = len(network.interface(2).inbox)
+        assert inbox_depth <= params.magic_inbox_capacity
+        stuck = (network.total_buffered_packets()
+                 + network.interface(0).outbox_depth
+                 + inbox_depth)
+        assert stuck >= 25
+
+    def test_congestion_blocks_unrelated_traffic(self):
+        """Back-pressure from a wedged node delays traffic that shares links."""
+        sim, params, network = build(4, 1, magic_inbox_capacity=1,
+                                     buffer_capacity=1)
+        network.wedge_node_interface(3)
+        for i in range(20):
+            network.interface(0).send(
+                Packet(src=0, dst=3, lane=Lane.REQUEST, kind="flood"))
+        sim.run(until=100_000)
+        received = []
+        drain_all(sim, network, 2, received)
+        # A packet from 1 to 2 must cross links shared with the flood.
+        network.interface(1).send(
+            Packet(src=1, dst=2, lane=Lane.REQUEST, kind="innocent"))
+        sim.run(until=200_000)
+        assert received == []   # stuck behind the congestion
+
+
+class TestRecoveryLaneStallDiscard:
+    def test_stalled_recovery_packets_discarded(self):
+        """Recovery lanes never stay congested (paper §4.1)."""
+        sim, params, network = build(3, 1, recovery_stall_discard=1_000.0,
+                                     recovery_buffer_capacity=2,
+                                     magic_inbox_capacity=2)
+        # Wedge node 1: its inbox fills, recovery packets stall at router 1
+        # and must be discarded rather than congest the recovery lane.
+        network.wedge_node_interface(1)
+        for i in range(10):
+            network.interface(0).send(
+                Packet(src=0, dst=1, lane=Lane.RECOVERY_A, kind="rec",
+                       source_route=[Mesh2D.EAST]))
+        sim.run(until=10_000_000)
+        # All packets either delivered (up to inbox capacity) or discarded;
+        # nothing remains buffered in the fabric.
+        assert network.total_buffered_packets() == 0
+        assert network.router(1).stats.dropped_stall >= 1
+
+    def test_normal_lanes_do_not_stall_discard(self):
+        sim, params, network = build(3, 1, recovery_stall_discard=1_000.0)
+        network.wedge_node_interface(1)
+        for i in range(30):
+            network.interface(0).send(
+                Packet(src=0, dst=1, lane=Lane.REQUEST, kind="norm"))
+        sim.run(until=10_000_000)
+        assert network.router(0).stats.dropped_stall == 0
+        assert network.router(1).stats.dropped_stall == 0
+
+
+class TestDiscardPorts:
+    def test_discard_port_drops_traffic(self):
+        sim, _, network = build(3, 1)
+        received = []
+        drain_all(sim, network, 2, received)
+        network.router(1).set_discard_ports({Mesh2D.EAST})
+        network.interface(0).send(
+            Packet(src=0, dst=2, lane=Lane.REQUEST, kind="blocked"))
+        sim.run(until=1_000_000)
+        assert received == []
+        assert network.router(1).stats.dropped_discard == 1
+
+    def test_clearing_discard_restores_traffic(self):
+        sim, _, network = build(3, 1)
+        received = []
+        drain_all(sim, network, 2, received)
+        network.router(1).set_discard_ports({Mesh2D.EAST})
+        network.interface(0).send(
+            Packet(src=0, dst=2, lane=Lane.REQUEST, kind="first"))
+        sim.run(until=100_000)
+        network.router(1).set_discard_ports(set())
+        network.interface(0).send(
+            Packet(src=0, dst=2, lane=Lane.REQUEST, kind="second"))
+        sim.run(until=1_000_000)
+        assert [p.kind for _, p in received] == ["second"]
+
+
+class TestReprogramming:
+    def test_traffic_follows_new_tables(self):
+        sim, _, network = build(2, 2)
+        received = []
+        drain_all(sim, network, 3, received)
+        # Break the dimension-ordered path 0 -> 1 -> 3 by failing link 0-1,
+        # then reprogram tables to go 0 -> 2 -> 3.
+        network.fail_link(0, 1)
+        from repro.interconnect.routing import (
+            compute_up_down_tables, surviving_adjacency)
+        adjacency = surviving_adjacency(
+            network.topology, dead_links=[(0, 1)])
+        tables = compute_up_down_tables(adjacency)
+        for rid, table in tables.items():
+            network.router(rid).program_table(table)
+        network.interface(0).send(
+            Packet(src=0, dst=3, lane=Lane.REQUEST, kind="rerouted"))
+        sim.run(until=1_000_000)
+        assert len(received) == 1
+        assert received[0][1].hops == 2
+
+
+class TestGroundTruth:
+    def test_true_adjacency_reflects_failures(self):
+        sim, _, network = build(3, 3)
+        network.fail_router(4)
+        network.fail_link(0, 1)
+        adjacency = network.true_surviving_adjacency()
+        assert 4 not in adjacency
+        assert all(nbr != 1 for _, nbr, _ in adjacency[0])
+
+    def test_no_link_between_non_neighbors(self):
+        sim, _, network = build(3, 3)
+        with pytest.raises(ValueError):
+            network.fail_link(0, 8)

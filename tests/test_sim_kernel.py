@@ -1,0 +1,391 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Channel, Event, Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(30, log.append, "c")
+    sim.schedule(10, log.append, "a")
+    sim.schedule(20, log.append, "b")
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_schedule_ties_break_by_insertion_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(10, log.append, "first")
+    sim.schedule(10, log.append, "second")
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_call_does_not_run():
+    sim = Simulator()
+    log = []
+    handle = sim.schedule(10, log.append, "x")
+    handle.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_run_until_time_bound():
+    sim = Simulator()
+    log = []
+    sim.schedule(10, log.append, "a")
+    sim.schedule(100, log.append, "b")
+    sim.run(until=50)
+    assert log == ["a"]
+    assert sim.now == 50
+
+
+def test_process_timeout_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        yield 5
+        times.append(sim.now)
+        yield 7.5
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [5.0, 12.5]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def proc():
+        yield 1
+        return 42
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result == 42
+    assert not process.alive
+
+
+def test_process_waits_for_event():
+    sim = Simulator()
+    event = Event(sim)
+    seen = []
+
+    def waiter():
+        value = yield event
+        seen.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(25, event.trigger, "payload")
+    sim.run()
+    assert seen == [(25.0, "payload")]
+
+
+def test_pretriggered_event_resumes_immediately():
+    sim = Simulator()
+    event = Event(sim)
+    event.trigger("early")
+    seen = []
+
+    def waiter():
+        value = yield event
+        seen.append(value)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    event = Event(sim)
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_process_joins_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield 10
+        order.append("child-done")
+        return "child-result"
+
+    def parent():
+        child_proc = sim.spawn(child())
+        result = yield child_proc
+        order.append(("parent-saw", result, sim.now))
+
+    sim.spawn(parent())
+    sim.run()
+    assert order == ["child-done", ("parent-saw", "child-result", 10.0)]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    events = [Event(sim) for _ in range(3)]
+    seen = []
+
+    def waiter():
+        values = yield AllOf(events)
+        seen.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.schedule(5, events[1].trigger, "b")
+    sim.schedule(10, events[0].trigger, "a")
+    sim.schedule(15, events[2].trigger, "c")
+    sim.run()
+    assert seen == [(15.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_resumes_immediately():
+    sim = Simulator()
+    seen = []
+
+    def waiter():
+        values = yield AllOf([])
+        seen.append(values)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [[]]
+
+
+def test_any_of_resumes_on_first():
+    sim = Simulator()
+    events = [Event(sim) for _ in range(3)]
+    seen = []
+
+    def waiter():
+        index, value = yield AnyOf(events)
+        seen.append((sim.now, index, value))
+
+    sim.spawn(waiter())
+    sim.schedule(5, events[2].trigger, "late-winner")
+    sim.schedule(9, events[0].trigger, "loser")
+    sim.run()
+    assert seen == [(5.0, 2, "late-winner")]
+
+
+def test_interrupt_throws_into_generator():
+    sim = Simulator()
+    seen = []
+
+    def victim():
+        try:
+            yield 1000
+        except Interrupt as interrupt:
+            seen.append((sim.now, interrupt.cause))
+
+    process = sim.spawn(victim())
+    sim.schedule(40, process.interrupt, "nmi")
+    sim.run()
+    assert seen == [(40.0, "nmi")]
+
+
+def test_interrupt_cancels_pending_timeout():
+    sim = Simulator()
+    seen = []
+
+    def victim():
+        try:
+            yield 1000
+        except Interrupt:
+            seen.append(sim.now)
+            yield 5
+            seen.append(sim.now)
+
+    process = sim.spawn(victim())
+    sim.schedule(10, process.interrupt, None)
+    sim.run()
+    assert seen == [10.0, 15.0]
+    assert sim.now == 15.0   # original 1000ns timeout did not fire
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 1
+
+    process = sim.spawn(quick())
+    sim.run()
+    process.interrupt("too-late")   # must not raise
+    sim.run()
+
+
+def test_unhandled_interrupt_kills_process_quietly():
+    sim = Simulator()
+
+    def victim():
+        yield 1000
+
+    process = sim.spawn(victim())
+    sim.schedule(5, process.interrupt, "boom")
+    sim.run()
+    assert not process.alive
+    assert isinstance(process.exception, Interrupt)
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield 1
+        raise ValueError("model bug")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_kill_stops_process():
+    sim = Simulator()
+    ran = []
+
+    def victim():
+        yield 10
+        ran.append("should not happen")
+
+    process = sim.spawn(victim())
+    sim.schedule(5, process.kill)
+    sim.run()
+    assert ran == []
+    assert not process.alive
+
+
+def test_channel_fifo_order():
+    sim = Simulator()
+    channel = Channel(sim)
+    seen = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield channel.get()
+            seen.append(item)
+
+    sim.spawn(consumer())
+    sim.schedule(1, channel.put, "a")
+    sim.schedule(2, channel.put, "b")
+    sim.schedule(3, channel.put, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_channel_get_before_put_blocks():
+    sim = Simulator()
+    channel = Channel(sim)
+    seen = []
+
+    def consumer():
+        item = yield channel.get()
+        seen.append((sim.now, item))
+
+    sim.spawn(consumer())
+    sim.schedule(50, channel.put, "x")
+    sim.run()
+    assert seen == [(50.0, "x")]
+
+
+def test_channel_try_get_and_peek():
+    sim = Simulator()
+    channel = Channel(sim)
+    assert channel.try_get() is None
+    assert channel.peek() is None
+    channel.put(1)
+    channel.put(2)
+    assert channel.peek() == 1
+    assert channel.try_get() == 1
+    assert len(channel) == 1
+
+
+def test_channel_clear_reports_dropped():
+    sim = Simulator()
+    channel = Channel(sim)
+    channel.put("a")
+    channel.put("b")
+    assert channel.clear() == ["a", "b"]
+    assert len(channel) == 0
+
+
+def test_channel_watch_fires_on_put():
+    sim = Simulator()
+    channel = Channel(sim)
+    seen = []
+
+    def watcher():
+        yield channel.watch()
+        seen.append(sim.now)
+
+    sim.spawn(watcher())
+    sim.schedule(7, channel.put, "data")
+    sim.run()
+    assert seen == [7.0]
+    assert len(channel) == 1   # watch does not consume
+
+
+def test_two_channel_ping_pong():
+    sim = Simulator()
+    a_to_b = Channel(sim)
+    b_to_a = Channel(sim)
+    transcript = []
+
+    def side_a():
+        a_to_b.put("ping-0")
+        for round_no in range(1, 3):
+            msg = yield b_to_a.get()
+            transcript.append(("a", sim.now, msg))
+            yield 10
+            a_to_b.put("ping-%d" % round_no)
+
+    def side_b():
+        for _ in range(3):
+            msg = yield a_to_b.get()
+            transcript.append(("b", sim.now, msg))
+            yield 5
+            b_to_a.put("pong for " + msg)
+
+    sim.spawn(side_a())
+    sim.spawn(side_b())
+    sim.run()
+    b_msgs = [entry[2] for entry in transcript if entry[0] == "b"]
+    assert b_msgs == ["ping-0", "ping-1", "ping-2"]
+
+
+def test_rng_determinism():
+    values_1 = Simulator(seed=123).rng.random()
+    values_2 = Simulator(seed=123).rng.random()
+    assert values_1 == values_2
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"done": False}
+
+    def proc():
+        yield 100
+        state["done"] = True
+        yield 100
+
+    sim.spawn(proc())
+    sim.run_until(lambda: state["done"], limit=1_000)
+    assert sim.now == 100.0

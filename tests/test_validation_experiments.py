@@ -1,0 +1,98 @@
+"""End-to-end validation-experiment harness tests (paper §5.2 methodology).
+
+Each test is one full Table 5.3-style run at a small configuration: fill,
+inject, recover, read all memory, verify against the oracle.
+"""
+
+import pytest
+
+from repro import MachineConfig
+from repro.core.experiment import (
+    expected_failed_nodes,
+    run_validation_experiment,
+)
+from repro.faults.models import FaultSpec, FaultType
+
+
+def config(seed, num_nodes=4):
+    return MachineConfig(num_nodes=num_nodes, mem_per_node=1 << 16,
+                         l2_size=1 << 13, seed=seed)
+
+
+@pytest.mark.parametrize("fault", [
+    FaultSpec.node_failure(3),
+    FaultSpec.router_failure(2),
+    FaultSpec.link_failure(0, 1),
+    FaultSpec.infinite_loop(1),
+    FaultSpec.false_alarm(0),
+], ids=lambda f: f.fault_type.value)
+def test_validation_passes_for_every_fault_type(fault):
+    result = run_validation_experiment(fault, config=config(seed=31))
+    assert result.passed, result.problems[:5]
+    assert result.lines_checked > 0
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_validation_across_seeds(seed):
+    result = run_validation_experiment(
+        FaultSpec.node_failure(2), config=config(seed=seed), seed=seed)
+    assert result.passed, result.problems[:5]
+
+
+def test_marked_lines_subset_of_allowed():
+    result = run_validation_experiment(
+        FaultSpec.node_failure(1), config=config(seed=77))
+    assert result.lines_marked_incoherent <= result.lines_allowed_incoherent
+
+
+def test_false_alarm_marks_nothing():
+    result = run_validation_experiment(
+        FaultSpec.false_alarm(2), config=config(seed=5))
+    assert result.passed
+    assert result.lines_marked_incoherent == 0
+
+
+def test_node_failure_marks_something_when_state_exists():
+    # With a 60% exclusive fill, the dead node almost surely owned lines
+    # homed elsewhere.
+    result = run_validation_experiment(
+        FaultSpec.node_failure(3), config=config(seed=13),
+        fill_fraction=0.8)
+    assert result.passed
+    assert result.lines_marked_incoherent > 0
+
+
+def test_eight_node_machine():
+    result = run_validation_experiment(
+        FaultSpec.infinite_loop(5), config=config(seed=9, num_nodes=8))
+    assert result.passed, result.problems[:5]
+
+
+def test_expected_failed_nodes_mapping():
+    from repro import FlashMachine
+    machine = FlashMachine(config(seed=1))
+    assert expected_failed_nodes(
+        machine, FaultSpec.node_failure(2)) == {2}
+    assert expected_failed_nodes(
+        machine, FaultSpec.router_failure(1)) == {1}
+    assert expected_failed_nodes(
+        machine, FaultSpec.infinite_loop(0)) == {0}
+    assert expected_failed_nodes(
+        machine, FaultSpec.link_failure(0, 1)) == set()
+    assert expected_failed_nodes(
+        machine, FaultSpec.false_alarm(0)) == set()
+
+
+def test_validation_result_string_form():
+    result = run_validation_experiment(
+        FaultSpec.false_alarm(1), config=config(seed=3))
+    text = str(result)
+    assert "PASS" in text and "false_alarm" in text
+
+
+def test_recovery_report_attached():
+    result = run_validation_experiment(
+        FaultSpec.node_failure(3), config=config(seed=8))
+    report = result.recovery_report
+    assert report.total_duration > 0
+    assert report.available_nodes == {0, 1, 2}

@@ -1,0 +1,147 @@
+"""Unit + property tests for the dissemination view merge (paper §4.3).
+
+The merge must be commutative, associative and idempotent — the order in
+which observations flood through the cwn graph cannot change the final
+view, or different nodes would disagree on the global state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.view import (
+    LinkStatus,
+    NodeStatus,
+    SystemView,
+)
+
+
+class TestObservations:
+    def test_alive_observation(self):
+        view = SystemView()
+        view.observe_node(3, NodeStatus.ALIVE)
+        assert view.alive_nodes() == {3}
+
+    def test_alive_wins_over_dead(self):
+        view = SystemView()
+        view.observe_node(3, NodeStatus.ALIVE)
+        view.observe_node(3, NodeStatus.DEAD)
+        assert view.nodes[3] == NodeStatus.ALIVE
+
+    def test_dead_then_alive_upgrades(self):
+        view = SystemView()
+        view.observe_node(3, NodeStatus.DEAD)
+        view.observe_node(3, NodeStatus.ALIVE)
+        assert view.nodes[3] == NodeStatus.ALIVE
+
+    def test_down_wins_over_up(self):
+        view = SystemView()
+        view.observe_link(0, 1, LinkStatus.DOWN)
+        view.observe_link(1, 0, LinkStatus.UP)
+        assert view.links[frozenset((0, 1))] == LinkStatus.DOWN
+
+    def test_link_key_is_undirected(self):
+        view = SystemView()
+        view.observe_link(2, 3, LinkStatus.UP)
+        view.observe_link(3, 2, LinkStatus.UP)
+        assert len(view.links) == 1
+
+
+class TestMerge:
+    def test_merge_reports_change(self):
+        a = SystemView()
+        b = SystemView()
+        b.observe_node(1, NodeStatus.ALIVE)
+        assert a.merge(b) is True
+        assert a.merge(b) is False   # second merge is a no-op
+
+    def test_merge_alive_wins(self):
+        a = SystemView()
+        a.observe_node(1, NodeStatus.DEAD)
+        b = SystemView()
+        b.observe_node(1, NodeStatus.ALIVE)
+        a.merge(b)
+        assert a.nodes[1] == NodeStatus.ALIVE
+
+    def test_merge_down_wins(self):
+        a = SystemView()
+        a.observe_link(0, 1, LinkStatus.UP)
+        b = SystemView()
+        b.observe_link(0, 1, LinkStatus.DOWN)
+        a.merge(b)
+        assert a.down_links() == {frozenset((0, 1))}
+
+    def test_wire_roundtrip(self):
+        view = SystemView()
+        view.observe_node(0, NodeStatus.ALIVE)
+        view.observe_node(5, NodeStatus.DEAD)
+        view.observe_link(0, 5, LinkStatus.DOWN)
+        decoded = SystemView.decode(view.encode())
+        assert decoded == view
+
+    def test_entry_count(self):
+        view = SystemView()
+        view.observe_node(0, NodeStatus.ALIVE)
+        view.observe_link(0, 1, LinkStatus.UP)
+        assert view.entry_count() == 2
+
+    def test_signature_detects_equality(self):
+        a = SystemView()
+        b = SystemView()
+        a.observe_node(1, NodeStatus.ALIVE)
+        b.observe_node(1, NodeStatus.ALIVE)
+        assert a.signature() == b.signature()
+
+
+# --- property tests ------------------------------------------------------------
+
+node_obs = st.tuples(st.integers(0, 7),
+                     st.sampled_from(list(NodeStatus)))
+link_obs = st.tuples(st.integers(0, 7), st.integers(0, 7),
+                     st.sampled_from(list(LinkStatus)))
+
+
+def build_view(nodes, links):
+    view = SystemView()
+    for node_id, status in nodes:
+        view.observe_node(node_id, status)
+    for a, b, status in links:
+        if a != b:
+            view.observe_link(a, b, status)
+    return view
+
+
+view_strategy = st.builds(
+    build_view,
+    st.lists(node_obs, max_size=12),
+    st.lists(link_obs, max_size=12))
+
+
+@given(view_strategy, view_strategy)
+@settings(max_examples=100, deadline=None)
+def test_property_merge_commutative(a, b):
+    left = a.copy()
+    left.merge(b)
+    right = b.copy()
+    right.merge(a)
+    assert left == right
+
+
+@given(view_strategy, view_strategy, view_strategy)
+@settings(max_examples=100, deadline=None)
+def test_property_merge_associative(a, b, c):
+    left = a.copy()
+    left.merge(b)
+    left.merge(c)
+    bc = b.copy()
+    bc.merge(c)
+    right = a.copy()
+    right.merge(bc)
+    assert left == right
+
+
+@given(view_strategy)
+@settings(max_examples=100, deadline=None)
+def test_property_merge_idempotent(a):
+    merged = a.copy()
+    changed = merged.merge(a)
+    assert not changed
+    assert merged == a
