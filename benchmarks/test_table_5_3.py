@@ -13,7 +13,7 @@ from benchmarks.helpers import once, runs_per_type, save_result
 from repro.analysis.tables import format_table
 from repro.core.config import MachineConfig
 from repro.core.experiment import run_validation_experiment
-from repro.faults.models import FaultSpec, FaultType
+from repro.faults.models import TABLE_5_2_FAULT_TYPES, FaultSpec
 
 
 def bench_config(seed):
@@ -32,7 +32,9 @@ def run_batch():
     rows = []
     failures_by_type = {}
     all_problems = []
-    for fault_type in FaultType:
+    # The paper's table covers its original five fault classes; the
+    # transient campaign-engine models are exercised elsewhere.
+    for fault_type in TABLE_5_2_FAULT_TYPES:
         failed = 0
         for run_index in range(runs):
             seed = rng.randrange(1 << 30)

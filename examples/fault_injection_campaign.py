@@ -15,14 +15,16 @@ import sys
 from repro import MachineConfig
 from repro.analysis.tables import format_table
 from repro.core.experiment import run_validation_experiment
-from repro.faults.models import FaultSpec, FaultType
+from repro.faults.models import TABLE_5_2_FAULT_TYPES, FaultSpec
 from repro.interconnect.topology import make_topology
 
 
 def main(runs_per_type=2):
     rng = random.Random(2026)
     rows = []
-    for fault_type in FaultType:
+    # The paper's table covers its original five fault classes; the
+    # transient campaign-engine models are exercised elsewhere.
+    for fault_type in TABLE_5_2_FAULT_TYPES:
         failed = 0
         marked_total = 0
         for _ in range(runs_per_type):

@@ -1,0 +1,38 @@
+"""Multi-fault campaign engine.
+
+Single-fault validation (paper §5.2) leaves the hardest recovery code —
+the §4.1 restart-on-new-fault rule and the surviving-node merge logic —
+nearly untested.  This package stress-tests exactly that:
+
+* :mod:`repro.campaign.schedule` — timed/phase-triggered fault sequences
+  and generators for the hard cases (fault during each recovery phase,
+  correlated link+router faults, false-alarm storms, flaky links);
+* :mod:`repro.campaign.runner` — a crash-isolated parallel campaign runner
+  with per-run watchdogs and resumable JSONL records;
+* :mod:`repro.campaign.records` — the JSONL record format;
+* :mod:`repro.campaign.shrink` — greedy minimization of failing schedules
+  into ready-to-paste reproducers.
+"""
+
+from repro.campaign.records import RunRecord, RunStatus
+from repro.campaign.runner import CampaignRunner, CampaignSummary
+from repro.campaign.schedule import (
+    SCHEDULE_GENERATORS,
+    FaultSchedule,
+    TimedFault,
+    make_schedule,
+)
+from repro.campaign.shrink import repro_command, shrink_schedule
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignSummary",
+    "FaultSchedule",
+    "RunRecord",
+    "RunStatus",
+    "SCHEDULE_GENERATORS",
+    "TimedFault",
+    "make_schedule",
+    "repro_command",
+    "shrink_schedule",
+]

@@ -1,0 +1,98 @@
+"""Resumable JSONL records for campaign runs.
+
+Each completed run appends exactly one JSON object (one line) to the
+campaign's results file.  Because every record carries its ``run_index``
+and the campaign derives per-run seeds deterministically from the campaign
+seed, re-running the same campaign against an existing file simply skips
+the indices already recorded — a killed batch resumes where it stopped.
+"""
+
+import dataclasses
+import enum
+import json
+
+
+class RunStatus(enum.Enum):
+    """Terminal state of one campaign run."""
+
+    PASS = "pass"          # recovery contained the schedule, oracle clean
+    FAIL = "fail"          # run completed but the §5.2 oracle found problems
+    CRASHED = "crashed"    # the worker raised (or died); traceback recorded
+    HUNG = "hung"          # watchdog expired / simulation deadlocked
+
+    @property
+    def is_abort(self):
+        """Did the run fail to produce a verdict at all?"""
+        return self in (RunStatus.CRASHED, RunStatus.HUNG)
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One line of the campaign JSONL file."""
+
+    run_index: int
+    seed: int
+    status: RunStatus
+    schedule: dict               # FaultSchedule.to_dict()
+    problems: list = dataclasses.field(default_factory=list)
+    restarts: int = 0
+    episodes: int = 0
+    error: str = ""              # traceback / watchdog message for aborts
+    elapsed_s: float = 0.0       # wall-clock of the worker
+
+    def to_dict(self):
+        data = dataclasses.asdict(self)
+        data["status"] = self.status.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(run_index=data["run_index"],
+                   seed=data["seed"],
+                   status=RunStatus(data["status"]),
+                   schedule=data["schedule"],
+                   problems=list(data.get("problems", ())),
+                   restarts=data.get("restarts", 0),
+                   episodes=data.get("episodes", 0),
+                   error=data.get("error", ""),
+                   elapsed_s=data.get("elapsed_s", 0.0))
+
+
+def append_record(path, record):
+    """Append one record; the trailing newline commits it atomically enough
+    for resume (a torn partial line is ignored by :func:`load_records`)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        handle.flush()
+
+
+def load_records(path):
+    """Read all complete records from a campaign file (missing file: [])."""
+    records = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return records
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(RunRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError):
+                # A torn write (batch killed mid-append); that run will
+                # simply be re-executed on resume.
+                continue
+    return records
+
+
+def completed_indices(records):
+    return {record.run_index for record in records}
+
+
+def count_by_status(records):
+    counts = {status: 0 for status in RunStatus}
+    for record in records:
+        counts[record.status] += 1
+    return counts

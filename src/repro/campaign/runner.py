@@ -1,0 +1,296 @@
+"""Crash-isolated campaign runner.
+
+Every run executes in its own ``multiprocessing`` worker with a wall-clock
+watchdog, so a simulator bug found by an aggressive schedule — a Python
+crash, an infinite event loop, a drained event heap — is *data* (a
+``CRASHED``/``HUNG`` record) rather than the death of the whole batch.
+
+Determinism and resume:
+
+* per-run seeds derive from the campaign seed via BLAKE2b
+  (:func:`derive_run_seed`), so run *i* of campaign seed *s* is the same
+  experiment on every machine and every re-run;
+* each finished run appends one JSONL record
+  (:mod:`repro.campaign.records`); re-running the same campaign against an
+  existing results file skips the already-recorded run indices.
+"""
+
+import dataclasses
+import hashlib
+import multiprocessing
+import queue as queue_module
+import random
+import time
+
+from repro.campaign.records import (
+    RunRecord,
+    RunStatus,
+    append_record,
+    completed_indices,
+    load_records,
+)
+from repro.campaign.schedule import FaultSchedule, make_schedule
+
+
+def derive_run_seed(campaign_seed, run_index):
+    """Deterministic 63-bit per-run seed (stable across processes, unlike
+    salted ``hash()``)."""
+    digest = hashlib.blake2b(
+        ("%d:%d" % (campaign_seed, run_index)).encode("ascii"),
+        digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
+                     mem_per_node, l2_size):
+    """Subprocess entry point: run one schedule, report via the queue."""
+    import warnings
+    warnings.simplefilter("ignore")   # skipped-injection warnings are data
+    started = time.monotonic()
+    try:
+        from repro.core.config import MachineConfig
+        from repro.core.experiment import run_schedule_experiment
+        schedule = FaultSchedule.from_dict(schedule_dict)
+        config = MachineConfig(
+            num_nodes=schedule.num_nodes, topology=schedule.topology,
+            mem_per_node=mem_per_node, l2_size=l2_size, seed=seed)
+        result = run_schedule_experiment(schedule, config=config, seed=seed,
+                                         run_limit=run_limit)
+        result_queue.put({
+            "status": (RunStatus.PASS if result.passed
+                       else RunStatus.FAIL).value,
+            "problems": list(result.problems),
+            "restarts": result.restarts,
+            "episodes": result.episodes,
+            "elapsed_s": time.monotonic() - started,
+        })
+    except (TimeoutError, RuntimeError) as exc:
+        # Simulation-limit and deadlock/heap-drain conditions: the run never
+        # reached a verdict.
+        result_queue.put({
+            "status": RunStatus.HUNG.value,
+            "error": "%s: %s" % (type(exc).__name__, exc),
+            "elapsed_s": time.monotonic() - started,
+        })
+    except BaseException:
+        import traceback
+        result_queue.put({
+            "status": RunStatus.CRASHED.value,
+            "error": traceback.format_exc(),
+            "elapsed_s": time.monotonic() - started,
+        })
+
+
+@dataclasses.dataclass
+class CampaignSummary:
+    """Aggregate of a finished (or resumed-and-finished) campaign."""
+
+    total: int
+    passed: int
+    failed: int
+    crashed: int
+    hung: int
+    records: list
+
+    @classmethod
+    def from_records(cls, records):
+        counts = {status: 0 for status in RunStatus}
+        for record in records:
+            counts[record.status] += 1
+        return cls(total=len(records),
+                   passed=counts[RunStatus.PASS],
+                   failed=counts[RunStatus.FAIL],
+                   crashed=counts[RunStatus.CRASHED],
+                   hung=counts[RunStatus.HUNG],
+                   records=list(records))
+
+    @property
+    def ok(self):
+        """True when every run reached a verdict (no batch-level aborts)."""
+        return self.crashed == 0 and self.hung == 0
+
+    def failures(self):
+        return [record for record in self.records
+                if record.status is not RunStatus.PASS]
+
+    def __str__(self):
+        return ("campaign: %d runs — %d pass, %d fail, %d crashed, %d hung"
+                % (self.total, self.passed, self.failed,
+                   self.crashed, self.hung))
+
+
+@dataclasses.dataclass
+class _ActiveRun:
+    run_index: int
+    seed: int
+    schedule: FaultSchedule
+    process: multiprocessing.Process
+    queue: object
+    started: float
+
+
+class CampaignRunner:
+    """Run ``runs`` schedules, each crash-isolated, streaming JSONL records.
+
+    ``kind`` names a generator from
+    :data:`~repro.campaign.schedule.SCHEDULE_GENERATORS`; alternatively a
+    fixed ``schedule`` replays one exact scenario every run (the per-run
+    seeds still vary the machine's random fill and timing draws).
+    """
+
+    def __init__(self, kind="random-multi", runs=50, campaign_seed=0,
+                 num_nodes=8, topology="mesh", schedule=None, out_path=None,
+                 timeout_s=300.0, run_limit=60_000_000_000, jobs=1,
+                 mem_per_node=64 << 10, l2_size=8 << 10, progress=None):
+        self.kind = kind
+        self.runs = runs
+        self.campaign_seed = campaign_seed
+        self.num_nodes = num_nodes
+        self.topology = topology
+        self.fixed_schedule = schedule
+        self.out_path = out_path
+        self.timeout_s = timeout_s
+        self.run_limit = run_limit
+        self.jobs = max(1, jobs)
+        # Campaigns trade machine size for run count: a small memory/cache
+        # still exercises every protocol path, and a run finishes in
+        # seconds instead of minutes.
+        self.mem_per_node = mem_per_node
+        self.l2_size = l2_size
+        self.progress = progress
+
+    # ------------------------------------------------------------ scheduling
+
+    def plan_run(self, run_index):
+        """The (seed, schedule) of run ``run_index`` — pure and stable.
+
+        In replay mode (a fixed schedule) the campaign seed is used
+        *literally* for every run, so a failure's printed repro command —
+        which carries the failing run's own derived seed — reproduces that
+        exact run.
+        """
+        if self.fixed_schedule is not None:
+            return self.campaign_seed, self.fixed_schedule
+        seed = derive_run_seed(self.campaign_seed, run_index)
+        rng = random.Random(seed)
+        return seed, make_schedule(self.kind, rng, num_nodes=self.num_nodes,
+                                   topology=self.topology)
+
+    # --------------------------------------------------------------- driving
+
+    def run(self):
+        """Execute all pending runs; returns a :class:`CampaignSummary`."""
+        records = {}
+        if self.out_path:
+            for record in load_records(self.out_path):
+                if record.run_index < self.runs:
+                    records[record.run_index] = record
+        pending = [index for index in range(self.runs)
+                   if index not in records]
+
+        active = []
+        while pending or active:
+            while pending and len(active) < self.jobs:
+                active.append(self._launch(pending.pop(0)))
+            time.sleep(0.02)
+            still_running = []
+            for run in active:
+                record = self._poll(run)
+                if record is None:
+                    still_running.append(run)
+                    continue
+                records[record.run_index] = record
+                if self.out_path:
+                    append_record(self.out_path, record)
+                if self.progress is not None:
+                    self.progress(record)
+            active = still_running
+
+        ordered = [records[index] for index in sorted(records)]
+        return CampaignSummary.from_records(ordered)
+
+    def _launch(self, run_index):
+        seed, schedule = self.plan_run(run_index)
+        return self._launch_with(run_index, seed, schedule)
+
+    def _launch_with(self, run_index, seed, schedule):
+        result_queue = multiprocessing.Queue()
+        process = multiprocessing.Process(
+            target=_campaign_worker,
+            args=(result_queue, schedule.to_dict(), seed, self.run_limit,
+                  self.mem_per_node, self.l2_size),
+            daemon=True)
+        process.start()
+        return _ActiveRun(run_index=run_index, seed=seed, schedule=schedule,
+                          process=process, queue=result_queue,
+                          started=time.monotonic())
+
+    def _poll(self, run):
+        """Returns the finished RunRecord, or None if still running."""
+        elapsed = time.monotonic() - run.started
+        if run.process.is_alive():
+            if elapsed < self.timeout_s:
+                return None
+            # Watchdog: terminate (then kill) the wedged worker.
+            run.process.terminate()
+            run.process.join(5.0)
+            if run.process.is_alive():
+                run.process.kill()
+                run.process.join(5.0)
+            return self._record(run, {
+                "status": RunStatus.HUNG.value,
+                "error": ("watchdog: run exceeded %.0fs wall clock"
+                          % self.timeout_s),
+                "elapsed_s": elapsed,
+            })
+        run.process.join()
+        try:
+            payload = run.queue.get(timeout=2.0)
+        except queue_module.Empty:
+            payload = {
+                "status": RunStatus.CRASHED.value,
+                "error": ("worker died without reporting (exitcode %s)"
+                          % run.process.exitcode),
+                "elapsed_s": elapsed,
+            }
+        return self._record(run, payload)
+
+    def _record(self, run, payload):
+        return RunRecord(
+            run_index=run.run_index,
+            seed=run.seed,
+            status=RunStatus(payload["status"]),
+            schedule=run.schedule.to_dict(),
+            problems=list(payload.get("problems", ())),
+            restarts=payload.get("restarts", 0),
+            episodes=payload.get("episodes", 0),
+            error=payload.get("error", ""),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+        )
+
+
+def run_schedule_isolated(schedule, seed, timeout_s=300.0,
+                          run_limit=60_000_000_000,
+                          mem_per_node=64 << 10, l2_size=8 << 10):
+    """Run one exact (schedule, seed) in a crash-isolated worker.
+
+    Used by the shrinker's still-fails predicate and by replay: the seed is
+    the failing run's own, not derived, so the reproduction is exact.
+    Returns a :class:`~repro.campaign.records.RunRecord`.
+    """
+    runner = CampaignRunner(schedule=schedule, runs=1, timeout_s=timeout_s,
+                            run_limit=run_limit, mem_per_node=mem_per_node,
+                            l2_size=l2_size)
+    run = runner._launch_with(0, seed, schedule)
+    while True:
+        record = runner._poll(run)
+        if record is not None:
+            return record
+        time.sleep(0.02)
+
+
+def resume_info(out_path, runs):
+    """How much of a campaign file is already done (for CLI messaging)."""
+    records = load_records(out_path)
+    done = {index for index in completed_indices(records) if index < runs}
+    return len(done), runs - len(done)

@@ -1,0 +1,124 @@
+"""Greedy minimization of failing fault schedules.
+
+A randomly generated schedule that breaks recovery usually carries noise:
+faults that play no part in the bug, odd timestamps, a bigger machine than
+needed.  :func:`shrink_schedule` strips all of that while a caller-supplied
+predicate keeps confirming "still fails", then :func:`repro_command` turns
+the minimized schedule into a ready-to-paste reproduction command.
+
+The passes (each run to a fixpoint, in order of expected payoff):
+
+1. **drop entries** — remove one fault at a time;
+2. **simplify timing** — zero a timed entry's offset, else round it to a
+   whole millisecond;
+3. **shrink the machine** — retarget the schedule onto fewer nodes when
+   every fault target still exists there
+   (:func:`~repro.campaign.schedule.valid_for_machine`).
+"""
+
+import dataclasses
+import json
+
+from repro.campaign.schedule import FaultSchedule, valid_for_machine
+
+_MS = 1_000_000.0
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """The minimized schedule plus how much work it took."""
+
+    schedule: FaultSchedule
+    original: FaultSchedule
+    checks: int           # predicate invocations spent
+    steps: list           # human-readable log of accepted reductions
+
+    def __str__(self):
+        return ("shrunk %d->%d faults, %d->%d nodes in %d checks"
+                % (self.original.fault_count, self.schedule.fault_count,
+                   self.original.num_nodes, self.schedule.num_nodes,
+                   self.checks))
+
+
+def shrink_schedule(schedule, still_fails, machine_sizes=(2, 4, 6),
+                    max_checks=200):
+    """Minimize ``schedule`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` must be a pure-ish predicate (typically: run the
+    schedule under :func:`~repro.core.experiment.run_schedule_experiment`
+    with the failing seed and report ``not result.passed`` — or a
+    crash/hang, which also counts as failing).  The original schedule is
+    assumed failing and is never re-checked.  ``max_checks`` bounds the
+    total predicate budget.
+    """
+    state = {"checks": 0}
+    steps = []
+
+    def fails(candidate):
+        if state["checks"] >= max_checks:
+            return False
+        state["checks"] += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            # The predicate crashing on a candidate counts as failing too —
+            # a crash is exactly the kind of bug worth minimizing.
+            return True
+
+    current = schedule
+
+    # Pass 1: drop entries, restarting the scan after every success so the
+    # greedy walk reaches a fixpoint.
+    changed = True
+    while changed and current.fault_count > 1:
+        changed = False
+        for index in range(current.fault_count):
+            entries = (current.entries[:index]
+                       + current.entries[index + 1:])
+            candidate = current.replace(entries=entries)
+            if fails(candidate):
+                steps.append("dropped %s" % current.entries[index])
+                current = candidate
+                changed = True
+                break
+
+    # Pass 2: simplify timing — zero first, whole milliseconds second.
+    entries = list(current.entries)
+    for index, entry in enumerate(entries):
+        if entry.phase is not None or entry.time == 0.0:
+            continue
+        for new_time in (0.0, round(entry.time / _MS) * _MS):
+            if new_time == entry.time:
+                continue
+            trial = list(entries)
+            trial[index] = dataclasses.replace(entry, time=new_time)
+            candidate = current.replace(entries=tuple(trial))
+            if fails(candidate):
+                steps.append("time %s: %.0f -> %.0f"
+                             % (entry.spec, entry.time, new_time))
+                entries = trial
+                current = candidate
+                break
+
+    # Pass 3: fewest nodes on which every target still exists.
+    for num_nodes in sorted(machine_sizes):
+        if num_nodes >= current.num_nodes:
+            break
+        if not valid_for_machine(current, num_nodes):
+            continue
+        candidate = current.replace(num_nodes=num_nodes)
+        if fails(candidate):
+            steps.append("machine %d -> %d nodes"
+                         % (current.num_nodes, num_nodes))
+            current = candidate
+            break
+
+    return ShrinkResult(schedule=current, original=schedule,
+                        checks=state["checks"], steps=steps)
+
+
+def repro_command(schedule, seed=0):
+    """A ready-to-paste command replaying exactly this schedule + seed."""
+    payload = json.dumps(schedule.to_dict(), sort_keys=True)
+    return ("PYTHONPATH=src python -m repro.cli campaign "
+            "--replay '%s' --runs 1 --seed %d" % (payload, seed))

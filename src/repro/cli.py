@@ -5,9 +5,12 @@ Usage::
     python -m repro.cli validate --fault node_failure --target 3
     python -m repro.cli endtoend --fault infinite_loop --target 5
     python -m repro.cli scale --nodes 2 8 16 32 --topology mesh
+    python -m repro.cli campaign --runs 50 --seed 7 \\
+        --schedule fault-during-recovery
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis.tables import format_series, format_table
@@ -16,16 +19,20 @@ from repro.core.experiment import (
     run_recovery_scalability,
     run_validation_experiment,
 )
-from repro.faults.models import FaultSpec, FaultType
+from repro.faults.models import LINK_FAULT_TYPES, FaultSpec, FaultType
 
 
 def _fault_from_args(args):
     fault_type = FaultType(args.fault)
-    if fault_type == FaultType.LINK_FAILURE:
+    if fault_type in LINK_FAULT_TYPES:
         if args.target2 is None:
-            raise SystemExit("link_failure needs --target and --target2")
-        return FaultSpec.link_failure(args.target, args.target2)
-    return FaultSpec(fault_type, args.target)
+            raise SystemExit("%s needs --target and --target2"
+                             % fault_type.value)
+        return FaultSpec(fault_type, (args.target, args.target2),
+                         dwell=getattr(args, "dwell", None),
+                         drop_rate=getattr(args, "drop_rate", None))
+    return FaultSpec(fault_type, args.target,
+                     dwell=getattr(args, "dwell", None))
 
 
 def cmd_validate(args):
@@ -38,9 +45,13 @@ def cmd_validate(args):
     for problem in result.problems:
         print("  !", problem)
     report = result.recovery_report
-    print("recovery: %.2f ms, survivors %s, %d lines marked incoherent"
-          % (report.total_duration / 1e6,
-             sorted(report.available_nodes), report.marked_incoherent))
+    if report is None:
+        # A transient fault can heal before any detector fires.
+        print("recovery: never triggered (fault healed undetected)")
+    else:
+        print("recovery: %.2f ms, survivors %s, %d lines marked incoherent"
+              % (report.total_duration / 1e6,
+                 sorted(report.available_nodes), report.marked_incoherent))
     return 0 if result.passed else 1
 
 
@@ -91,6 +102,86 @@ def cmd_scale(args):
     return 0
 
 
+def cmd_campaign(args):
+    from repro.campaign import (
+        SCHEDULE_GENERATORS,
+        CampaignRunner,
+        FaultSchedule,
+        repro_command,
+        shrink_schedule,
+    )
+    from repro.campaign.records import RunStatus
+    from repro.campaign.runner import run_schedule_isolated
+
+    fixed_schedule = None
+    if args.replay:
+        try:
+            fixed_schedule = FaultSchedule.from_dict(json.loads(args.replay))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit("bad --replay JSON: %s" % exc)
+    elif args.schedule not in SCHEDULE_GENERATORS:
+        raise SystemExit(
+            "unknown schedule %r (have: %s)"
+            % (args.schedule, ", ".join(sorted(SCHEDULE_GENERATORS))))
+    out_path = args.out
+    if out_path is None:
+        label = "replay" if fixed_schedule is not None else args.schedule
+        out_path = "campaign_%s_seed%d.jsonl" % (label, args.seed)
+
+    def progress(record):
+        line = "  run %3d [%s] seed=%d" % (
+            record.run_index, record.status.value, record.seed)
+        if record.status is RunStatus.FAIL:
+            line += " problems=%d" % len(record.problems)
+        elif record.status.is_abort:
+            line += " %s" % record.error.strip().splitlines()[-1]
+        print(line, file=sys.stderr)
+
+    runner = CampaignRunner(
+        kind=args.schedule, runs=args.runs, campaign_seed=args.seed,
+        num_nodes=args.nodes_count, topology=args.topology,
+        schedule=fixed_schedule, out_path=out_path,
+        timeout_s=args.timeout, jobs=args.jobs,
+        mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
+        progress=progress)
+    summary = runner.run()
+    print(summary)
+    print("records: %s" % out_path)
+
+    failures = summary.failures()
+    for record in failures:
+        print("  %s run %d (seed %d): %s" % (
+            record.status.value, record.run_index, record.seed,
+            record.problems[:3] if record.problems
+            else record.error.strip().splitlines()[-1:]))
+        print("    repro: %s" % repro_command(
+            FaultSchedule.from_dict(record.schedule), record.seed))
+
+    if args.shrink and failures:
+        record = failures[0]
+        schedule = FaultSchedule.from_dict(record.schedule)
+        print("shrinking %s run %d ..." % (record.status.value,
+                                           record.run_index))
+
+        def still_fails(candidate):
+            result = run_schedule_isolated(
+                candidate, record.seed, timeout_s=args.timeout,
+                mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10)
+            return result.status is not RunStatus.PASS
+
+        shrunk = shrink_schedule(schedule, still_fails)
+        print(shrunk)
+        for step in shrunk.steps:
+            print("  -", step)
+        print("minimal repro: %s" % repro_command(shrunk.schedule,
+                                                  record.seed))
+
+    # Exit status reflects batch health: FAIL verdicts are findings the
+    # records carry; CRASHED/HUNG means the campaign machinery itself
+    # could not finish a run.
+    return 0 if summary.ok else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +204,12 @@ def build_parser():
         choices=[t.value for t in FaultType])
     p_validate.add_argument("--target", type=int, default=7)
     p_validate.add_argument("--target2", type=int, default=None)
+    p_validate.add_argument("--dwell", type=float, default=None,
+                            help="heal/manifestation delay in ns "
+                                 "(transient link, delayed wedge)")
+    p_validate.add_argument("--drop-rate", type=float, default=None,
+                            help="per-packet drop probability "
+                                 "(intermittent link)")
     p_validate.set_defaults(func=cmd_validate)
 
     p_e2e = sub.add_parser(
@@ -137,6 +234,33 @@ def build_parser():
     p_scale.add_argument("--topology", default="mesh",
                          choices=["mesh", "hypercube"])
     p_scale.set_defaults(func=cmd_scale)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="multi-fault campaign: crash-isolated runs, JSONL records")
+    add_common(p_camp)
+    p_camp.add_argument("--runs", type=int, default=50)
+    p_camp.add_argument("--schedule", default="random-multi",
+                        help="schedule generator name (see "
+                             "repro.campaign.SCHEDULE_GENERATORS)")
+    p_camp.add_argument("--replay", default=None, metavar="JSON",
+                        help="replay one exact schedule (JSON, as printed "
+                             "by a failure's repro command)")
+    p_camp.add_argument("--nodes-count", type=int, default=8)
+    p_camp.add_argument("--topology", default="mesh",
+                        choices=["mesh", "hypercube"])
+    p_camp.add_argument("--out", default=None,
+                        help="JSONL results file (default: "
+                             "campaign_<schedule>_seed<N>.jsonl); "
+                             "re-running resumes, skipping recorded runs")
+    p_camp.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run wall-clock watchdog in seconds")
+    p_camp.add_argument("--jobs", type=int, default=1,
+                        help="concurrent crash-isolated workers")
+    p_camp.add_argument("--shrink", action="store_true",
+                        help="minimize the first failing schedule and "
+                             "print its repro command")
+    p_camp.set_defaults(func=cmd_campaign)
     return parser
 
 

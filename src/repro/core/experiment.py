@@ -1,11 +1,15 @@
 """Fault-injection experiment harnesses (paper §5).
 
-Three experiment families:
+Four experiment families:
 
 * :func:`run_validation_experiment` — the §5.2 methodology behind
   Table 5.3: fill caches with a random sharing pattern, inject a fault,
   recover, then read all of memory and verify every line is either correct
   or properly marked, with no over-marking.
+* :func:`run_schedule_experiment` — the same methodology for a whole
+  :class:`~repro.campaign.schedule.FaultSchedule` of overlapping faults
+  (the campaign engine's workhorse): the oracle accumulates the union of
+  allowed-incoherent sets across every injection.
 * :func:`run_end_to_end_experiment` — thin wrapper over the Hive harness
   behind Table 5.4 (defined in :mod:`repro.hive.endtoend`).
 * :func:`run_recovery_scalability` — phase-resolved recovery timing behind
@@ -49,19 +53,31 @@ def expected_failed_nodes(machine, fault):
     """Nodes whose state the fault destroys (ground truth for the oracle).
 
     A wedged (infinite-loop) node is included: the recovery algorithm stops
-    it, so its cache contents are lost.  A router failure strands its node,
-    which the split-brain rule then shuts down.
+    it, so its cache contents are lost — a delayed wedge the same, just
+    later.  A router failure strands its node, which the split-brain rule
+    then shuts down.  Transient/intermittent link faults destroy no node
+    state (only in-flight messages, which the snapshot logic covers).
     """
     fault_type = fault.fault_type
     if fault_type in (FaultType.NODE_FAILURE, FaultType.ROUTER_FAILURE,
-                      FaultType.INFINITE_LOOP):
+                      FaultType.INFINITE_LOOP, FaultType.DELAYED_WEDGE):
         return {fault.target}
     return set()
 
 
 def run_validation_experiment(fault, config=None, fill_fraction=0.6,
                               seed=0, run_limit=30_000_000_000):
-    """One complete §5.2 validation run; returns a ValidationResult."""
+    """One complete §5.2 validation run; returns a ValidationResult.
+
+    ``fault`` may also be a :class:`~repro.campaign.schedule.FaultSchedule`,
+    in which case the multi-fault harness runs instead and a
+    :class:`ScheduleResult` is returned.
+    """
+    from repro.campaign.schedule import FaultSchedule
+    if isinstance(fault, FaultSchedule):
+        return run_schedule_experiment(
+            fault, config=config, fill_fraction=fill_fraction, seed=seed,
+            run_limit=max(run_limit, 60_000_000_000))
     config = config or MachineConfig(seed=seed)
     machine = FlashMachine(config).start()
     oracle = machine.oracle
@@ -89,14 +105,27 @@ def run_validation_experiment(fault, config=None, fill_fraction=0.6,
     prober_proc = None
     if fault.fault_type != FaultType.FALSE_ALARM:
         prober_proc = _start_prober(machine, fault)
-    report = machine.run_until_recovered(limit=run_limit)
-    if prober_proc is not None:
-        # Let the prober finish its (reissued) post-recovery read.
+    if fault.fault_type in _MAYBE_UNDETECTED:
+        # A transient/intermittent link may heal (or never drop the probe)
+        # before any detector fires: wait for the prober, settle whatever
+        # recovery it did trigger, and accept a fault-free outcome.
         machine.run_until(lambda: not prober_proc.alive, limit=run_limit)
+        while machine.recovery_manager.in_progress:
+            machine.run_until_recovered(limit=run_limit)
+        machine.quiesce()
+        reports = machine.recovery_manager.reports
+        report = reports[-1] if reports else None
+    else:
+        report = machine.run_until_recovered(limit=run_limit)
+        if prober_proc is not None:
+            # Let the prober finish its (reissued) post-recovery read.
+            machine.run_until(lambda: not prober_proc.alive, limit=run_limit)
 
     # Phase 4: upon completion of recovery, the processors read all of the
     # system's memory and check every line (§5.2).
-    checkers = sorted(report.available_nodes)
+    available = (set(report.available_nodes) if report is not None
+                 else set(machine.alive_nodes()))
+    checkers = sorted(available)
     assignment = partition_lines(machine, checkers) if checkers else {}
     observations = {node_id: [] for node_id in checkers}
     procs = {
@@ -113,10 +142,10 @@ def run_validation_experiment(fault, config=None, fill_fraction=0.6,
     machine.run_until(finished, limit=run_limit)
     if manager.reports:
         report = manager.reports[-1]
+        available = set(report.available_nodes)
 
     # Phase 4: verdict.
     problems = []
-    available = report.available_nodes
     lines_checked = 0
     for node_id in checkers:
         if node_id not in available:
@@ -124,7 +153,8 @@ def run_validation_experiment(fault, config=None, fill_fraction=0.6,
         for line, kind, detail in observations[node_id]:
             lines_checked += 1
             problems.extend(
-                _judge_observation(machine, oracle, line, kind, detail))
+                _judge_observation(machine, oracle, available,
+                                   line, kind, detail))
 
     overmarked = oracle.overmarked_lines()
     if overmarked:
@@ -146,21 +176,38 @@ def run_validation_experiment(fault, config=None, fill_fraction=0.6,
     )
 
 
+_MAYBE_UNDETECTED = (FaultType.TRANSIENT_LINK_FAILURE,
+                     FaultType.INTERMITTENT_LINK)
+
+
 def _start_prober(machine, fault):
     """Issue one read aimed into the faulted region to trigger detection."""
-    if fault.fault_type == FaultType.LINK_FAILURE:
+    if fault.is_link_fault:
         prober, victim = fault.target
     else:
         victim = fault.target
         prober = 0 if victim != 0 else 1
+    if fault.fault_type == FaultType.DELAYED_WEDGE:
+        # The wedge manifests only after the dwell time; probing earlier
+        # would find a healthy node and detect nothing.
+        return machine.nodes[prober].processor.run_program(
+            _delayed_probe(machine, victim,
+                           (fault.dwell or 2_000_000.0) + 50_000.0),
+            name="prober%d" % prober)
     return machine.nodes[prober].processor.run_program(
         _probe_program(machine, victim), name="prober%d" % prober)
 
 
-def _judge_observation(machine, oracle, line, kind, detail):
+def _delayed_probe(machine, victim, delay):
+    from repro.node.processor import Compute
+    yield Compute(delay)
+    yield from _probe_program(machine, victim)
+
+
+def _judge_observation(machine, oracle, available, line, kind, detail):
     """Check one post-recovery read against the oracle's allowed outcomes."""
     home = machine.address_map.home_of(line)
-    home_unavailable = home not in machine.recovery_manager.reports[-1].available_nodes
+    home_unavailable = home not in available
 
     if kind == "bus_error":
         if detail == BusErrorKind.INACCESSIBLE_NODE:
@@ -181,6 +228,190 @@ def _judge_observation(machine, oracle, line, kind, detail):
         return ["line 0x%x: stale/wrong data %r (expected %r)"
                 % (line, detail, expected)]
     return []
+
+
+# ----------------------------------------------------------------- schedules
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """Outcome of one multi-fault schedule run (campaign engine)."""
+
+    schedule: object
+    passed: bool
+    problems: list
+    lines_checked: int
+    lines_marked_incoherent: int
+    lines_allowed_incoherent: int
+    reports: list                 # RecoveryReports of every episode
+    restarts: int                 # §4.1 restarts summed over episodes
+    episodes: int
+    skipped_injections: int       # faults that hit already-failed targets
+
+    def __str__(self):
+        verdict = "PASS" if self.passed else "FAIL"
+        return ("[%s] %s checked=%d marked=%d allowed=%d episodes=%d "
+                "restarts=%d problems=%d"
+                % (verdict, self.schedule, self.lines_checked,
+                   self.lines_marked_incoherent,
+                   self.lines_allowed_incoherent, self.episodes,
+                   self.restarts, len(self.problems)))
+
+
+def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
+                            seed=0, run_limit=60_000_000_000,
+                            settle_time=2_000_000.0):
+    """One §5.2-style validation run of a whole fault schedule.
+
+    The same methodology as :func:`run_validation_experiment`, generalized
+    to overlapping faults: the oracle snapshots at *every* injection with
+    the cumulative ground-truth failed set (the union of allowed-incoherent
+    sets keeps growing), recovery episodes — including §4.1 restarts — are
+    allowed to cascade, and the final full-memory check judges every line
+    against the accumulated oracle state.
+    """
+    config = config or MachineConfig(
+        num_nodes=schedule.num_nodes, topology=schedule.topology, seed=seed)
+    machine = FlashMachine(config).start()
+    manager = machine.recovery_manager
+    oracle = machine.oracle
+
+    # Phase 1: fill caches with a random shared/exclusive pattern.
+    fill_lines = max(1, int(config.l2_lines * fill_fraction))
+    machine.run_programs(
+        [(node_id, cache_fill_program(machine, node_id, fill_lines, seed))
+         for node_id in range(config.num_nodes)],
+        limit=run_limit)
+    machine.quiesce()
+
+    # Phase 2: arm the whole schedule.  Ground truth is snapshotted at the
+    # instant each fault actually fires (and again at each episode's P4
+    # entry), always against the union of nodes lost so far.
+    def on_inject(spec):
+        failed = oracle.note_failed_nodes(
+            expected_failed_nodes(machine, spec))
+        oracle.snapshot_at_injection(machine, failed)
+
+    machine.injector.pre_inject_hook = on_inject
+    manager.phase4_hook = lambda: oracle.snapshot_at_injection(
+        machine, oracle.known_failed_nodes)
+
+    start = machine.sim.now
+    machine.injector.inject_schedule(schedule, base_time=start)
+
+    # Phase 3: detection.  Every *timed* detectable fault gets a prober
+    # (phase-triggered faults strike mid-recovery, which detects them
+    # itself via the §4.1 restart rule).
+    prober_procs = []
+    horizon = 0.0
+    for entry in schedule.entries:
+        if entry.phase is not None:
+            continue
+        spec = entry.spec
+        delay = entry.time + 10.0
+        if spec.fault_type == FaultType.DELAYED_WEDGE:
+            delay += (spec.dwell or 2_000_000.0) + 50_000.0
+        horizon = max(horizon, delay, entry.time + (spec.dwell or 0.0))
+        if spec.fault_type == FaultType.FALSE_ALARM:
+            continue
+        machine.sim.schedule_at(
+            start + delay, _start_schedule_prober, machine, spec,
+            prober_procs)
+
+    # Let every timed injection (and delayed manifestation) fire, then
+    # settle all recovery activity.  Episodes may cascade — e.g. a healed
+    # link re-detected, or a delayed wedge striking after a first recovery
+    # completed — so loop until the machine is quiet.
+    machine.run(until=start + horizon + 10.0)
+    for _ in range(64):
+        if manager.in_progress:
+            machine.run_until_recovered(limit=run_limit)
+        machine.quiesce(settle_time)
+        if not manager.in_progress:
+            break
+    else:
+        raise RuntimeError("recovery episodes never settled: %s" % schedule)
+    machine.run_until(
+        lambda: all(not proc.alive for proc in prober_procs),
+        limit=run_limit)
+
+    # Phase 4: the survivors read all of memory and check every line.
+    reports = list(manager.reports)
+    available = (set(reports[-1].available_nodes) if reports
+                 else set(machine.alive_nodes()))
+    checkers = sorted(available)
+    assignment = partition_lines(machine, checkers) if checkers else {}
+    observations = {node_id: [] for node_id in checkers}
+    procs = {
+        node_id: machine.nodes[node_id].processor.run_program(
+            memory_check_program(assignment[node_id],
+                                 observations[node_id]))
+        for node_id in checkers
+    }
+    machine.run_until(
+        lambda: all(not proc.alive for proc in procs.values()),
+        limit=run_limit)
+    if manager.reports:
+        # The check itself may have tripped further episodes (e.g. reads
+        # into a region a late fault took down).
+        reports = list(manager.reports)
+        available = set(reports[-1].available_nodes)
+
+    problems = []
+    lines_checked = 0
+    for node_id in checkers:
+        if node_id not in available:
+            continue
+        for line, kind, detail in observations[node_id]:
+            lines_checked += 1
+            problems.extend(
+                _judge_observation(machine, oracle, available,
+                                   line, kind, detail))
+
+    overmarked = oracle.overmarked_lines()
+    if overmarked:
+        problems.append(
+            "over-marked %d lines (e.g. 0x%x)"
+            % (len(overmarked), min(overmarked)))
+    if lines_checked == 0:
+        problems.append("no surviving checker completed: recovery lost the"
+                        " whole machine (available=%s)" % sorted(available))
+
+    return ScheduleResult(
+        schedule=schedule,
+        passed=not problems,
+        problems=problems,
+        lines_checked=lines_checked,
+        lines_marked_incoherent=len(oracle.marked_incoherent),
+        lines_allowed_incoherent=len(oracle.may_be_incoherent or ()),
+        reports=reports,
+        restarts=sum(report.restarts for report in reports),
+        episodes=len(reports),
+        skipped_injections=len(machine.injector.skipped),
+    )
+
+
+def _start_schedule_prober(machine, spec, procs, retries=100):
+    """Fire a detection probe for one schedule entry (at its own time)."""
+    if spec.is_link_fault:
+        prober, victim = spec.target
+    else:
+        victim = spec.target
+        prober = None
+    candidates = [node_id for node_id in machine.alive_nodes()
+                  if node_id != victim
+                  and not machine.nodes[node_id].processor.busy]
+    if not candidates:
+        # Every survivor is still running an earlier probe; probes are
+        # short (bounded by the memory-op timeout) so retry shortly.
+        if retries > 0:
+            machine.sim.schedule(100_000.0, _start_schedule_prober,
+                                 machine, spec, procs, retries - 1)
+        return
+    if prober is None or prober not in candidates:
+        prober = candidates[0]
+    proc = machine.nodes[prober].processor.run_program(
+        _probe_program(machine, victim), name="prober%d" % prober)
+    procs.append(proc)
 
 
 # --------------------------------------------------------------------- table 5.4

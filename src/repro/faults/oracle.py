@@ -37,6 +37,9 @@ class Oracle(NullHooks):
         self.bus_errors = []
         self.may_be_incoherent = None  # computed at injection
         self.inaccessible_homes = None
+        #: ground-truth union of nodes lost so far across a (possibly
+        #: multi-fault) schedule; grown via :meth:`note_failed_nodes`
+        self.known_failed_nodes = set()
 
     # -- hooks ------------------------------------------------------------------
 
@@ -70,6 +73,17 @@ class Oracle(NullHooks):
 
     # -- injection snapshot --------------------------------------------------------
 
+    def note_failed_nodes(self, failed_nodes):
+        """Accumulate the ground-truth failed set across multiple faults.
+
+        Each fault of a schedule destroys the state of zero or more nodes;
+        the *union* is what every later snapshot must be computed against —
+        a line owned by a node killed by fault #1 stays allowed-incoherent
+        when fault #2 strikes during the recovery.  Returns the union.
+        """
+        self.known_failed_nodes |= set(failed_nodes)
+        return set(self.known_failed_nodes)
+
     def snapshot_at_injection(self, machine, failed_nodes):
         """Compute allowed outcomes given the set of nodes that will fail.
 
@@ -94,7 +108,11 @@ class Oracle(NullHooks):
                     may_be_incoherent.add(line_address)
                 elif entry.state == DirState.EXCLUSIVE:
                     owner = entry.owner
-                    if owner in failed_nodes:
+                    if owner is None or owner in failed_nodes:
+                        # Ownerless-exclusive happens when the snapshot
+                        # lands mid-P4 (a second fault during the directory
+                        # scan): the entry is being rebuilt, so the line is
+                        # in transition.
                         may_be_incoherent.add(line_address)
                     else:
                         owner_cache = machine.nodes[owner].cache

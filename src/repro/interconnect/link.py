@@ -4,7 +4,20 @@ Links fail as "black holes" (paper §4.1): traffic routed into a failed link
 is silently sunk.  The one packet that is *on* the link at the instant of
 failure is truncated and still delivered (§3.1) — the receiving node
 controller detects the truncation and triggers recovery.
+
+Two transient behaviours support the multi-fault campaign engine
+(:mod:`repro.campaign`):
+
+* :meth:`heal` undoes a failure (transient link fault);
+* an armed *drop rate* makes the link intermittently sink normal-lane
+  packets.  Recovery-lane packets are never dropped: they are short,
+  hardware-CRC-retried control packets, and keeping them reliable preserves
+  the paper's §4.1 guarantee that recovery itself can always make progress.
 """
+
+from repro.common.types import Lane
+
+_NORMAL_LANES = (Lane.REQUEST, Lane.REPLY)
 
 
 class Link:
@@ -18,6 +31,10 @@ class Link:
         self.failed = False
         #: transfer records currently on the wire (either direction)
         self.in_flight = []
+        #: intermittent-fault state: probability of sinking a normal-lane
+        #: packet at transfer start, and the RNG the decision draws from
+        self.drop_rate = 0.0
+        self._drop_rng = None
 
     def endpoints(self):
         return (self.router_a.router_id, self.router_b.router_id)
@@ -37,6 +54,23 @@ class Link:
         self.failed = True
         for record in self.in_flight:
             record.packet.truncate()
+
+    def heal(self):
+        """Undo a failure (transient link fault): traffic flows again."""
+        self.failed = False
+
+    def set_drop_rate(self, drop_rate, rng):
+        """Arm (or, with rate 0, disarm) intermittent packet dropping."""
+        self.drop_rate = drop_rate
+        self._drop_rng = rng if drop_rate > 0 else None
+
+    def should_drop(self, packet):
+        """Intermittent-fault decision for one packet at transfer start."""
+        if self.failed or self.drop_rate <= 0.0:
+            return False
+        if packet.lane not in _NORMAL_LANES:
+            return False
+        return self._drop_rng.random() < self.drop_rate
 
     def __repr__(self):
         state = "FAILED" if self.failed else "up"

@@ -82,6 +82,32 @@ class Network:
             other, _ = link.other_side(router_id)
             other.notify()
 
+    def heal_link(self, rid_a, rid_b):
+        """Undo a (transient) link failure and wake both endpoint routers.
+
+        A link whose endpoint router has failed stays down: the router
+        failure took the link with it, and a healing connector cannot bring
+        a dead router back.
+        """
+        link = self.link_between(rid_a, rid_b)
+        if link is None:
+            raise ValueError("no link between %d and %d" % (rid_a, rid_b))
+        if self.routers[rid_a].failed or self.routers[rid_b].failed:
+            return False
+        link.heal()
+        self.routers[rid_a].notify()
+        self.routers[rid_b].notify()
+        return True
+
+    def set_link_drop(self, rid_a, rid_b, drop_rate, rng):
+        """Arm (rate > 0) or disarm (rate 0) intermittent drops on a link."""
+        link = self.link_between(rid_a, rid_b)
+        if link is None:
+            raise ValueError("no link between %d and %d" % (rid_a, rid_b))
+        link.set_drop_rate(drop_rate, rng)
+        self.routers[rid_a].notify()
+        self.routers[rid_b].notify()
+
     def fail_node_interface(self, node_id):
         self.interfaces[node_id].fail()
         self.routers[node_id].notify()

@@ -52,6 +52,7 @@ class RouterStats:
         self.dropped_discard = 0
         self.dropped_stall = 0
         self.dropped_link = 0
+        self.dropped_intermittent = 0
         self.probes_answered = 0
 
 
@@ -383,6 +384,11 @@ class Router:
         if link.failed:
             # Black hole: the packet is sunk (paper §4.1).
             self.stats.dropped_link += 1
+            return "moved"
+
+        if link.should_drop(packet):
+            # Intermittent link fault: the packet is sunk mid-crossing.
+            self.stats.dropped_intermittent += 1
             return "moved"
 
         downstream, downstream_port = link.other_side(self.router_id)

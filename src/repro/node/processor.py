@@ -142,6 +142,11 @@ class Processor:
         #: the recovery manager for every recovery episode
         self.recovery_done = None
 
+    @property
+    def busy(self):
+        """Is a program currently executing on this processor?"""
+        return self._proc is not None and self._proc.alive
+
     def run_program(self, program, name=None):
         """Start executing a workload program; returns the driver process.
 

@@ -61,6 +61,7 @@ class RecoveryAgent:
 
     def _begin_phase(self, phase):
         self.phase_marks[phase] = (self.sim.now, None)
+        self.manager.note_phase_entry(phase, self.node_id)
 
     def _end_phase(self, phase):
         begin, _ = self.phase_marks[phase]

@@ -92,6 +92,11 @@ class RecoveryManager:
         #: harness snapshots its oracle here (§5.2).
         self.phase4_hook = None
         self._phase4_hook_fired = False
+        #: observation hooks called as ``listener(phase, node_id)`` whenever
+        #: any agent enters a recovery phase ("P1".."P4").  Used by the
+        #: campaign engine to inject faults at precise recovery moments;
+        #: the recovery algorithm itself never depends on them.
+        self.phase_entry_listeners = []
         self.agents = {}             # node_id -> RecoveryAgent (this epoch)
         self.report = None
         self.reports = []
@@ -130,6 +135,11 @@ class RecoveryManager:
         if node_id in self.agents:
             return   # already recovering in this episode
         self._begin_node(node_id)
+
+    def note_phase_entry(self, phase, node_id):
+        """An agent began ``phase``; inform registered observers."""
+        for listener in list(self.phase_entry_listeners):
+            listener(phase, node_id)
 
     def notify_phase4_entry(self):
         """First agent reached P4 (post-drain): fire the episode hook."""

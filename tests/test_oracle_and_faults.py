@@ -101,7 +101,7 @@ class TestFaultSpec:
         mesh = Mesh2D(3, 3)
         for _ in range(50):
             spec = FaultSpec.random(rng, mesh)
-            if spec.fault_type == FaultType.LINK_FAILURE:
+            if spec.is_link_fault:
                 a, b = spec.target
                 assert b in dict(
                     mesh.neighbors(a)[p] for p in mesh.neighbors(a)
