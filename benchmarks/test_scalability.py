@@ -1,0 +1,50 @@
+"""Recovery scalability sweep — the `repro.cli bench` harness under
+pytest-benchmark (paper §5.3 / Figure 5.5, telemetry edition).
+
+Sweeps machine sizes for the canonical worst-placement fault (highest-id
+node, farthest from the detection probe) and asserts the paper's headline
+claim: recovery latency grows sub-linearly in machine size.  The default
+sweep stops at 32 nodes to stay CI-fast; ``REPRO_FULL=1`` runs the full
+4-128 Figure 5.5 range.
+"""
+
+from benchmarks.helpers import full_sweeps, once, save_result
+from repro.telemetry.scalability import (
+    DEFAULT_SIZES,
+    run_scalability_sweep,
+    scalability_table,
+    sweep_ok,
+)
+
+
+def sweep_sizes():
+    if full_sweeps():
+        return DEFAULT_SIZES
+    return tuple(n for n in DEFAULT_SIZES if n <= 32)
+
+
+def run_sweep():
+    return run_scalability_sweep(sizes=sweep_sizes())
+
+
+def test_scalability_sweep(benchmark):
+    payload = once(benchmark, run_sweep)
+
+    text = scalability_table(payload)
+    text += ("\n\nPaper shape (§5.3): total recovery stays in the tens of "
+             "ms as the machine grows; the latency ratio across the sweep "
+             "stays below the node-count ratio (sub-linear growth).")
+    save_result("scalability", text)
+
+    # Every sweep point must finish recovery (the CI bench gate).
+    assert sweep_ok(payload)
+
+    # Cumulative phase latencies are ordered at every point.
+    for result in payload["results"]:
+        recovery = result["recovery"]
+        assert (recovery["P1_ms"] <= recovery["P12_ms"]
+                <= recovery["P123_ms"] <= recovery["total_ms"])
+
+    # The headline claim: sub-linear latency growth for every fault class.
+    for fault_class, verdict in payload["sublinear"].items():
+        assert verdict["ok"], (fault_class, verdict)

@@ -39,6 +39,9 @@ class RunRecord:
     episodes: int = 0
     error: str = ""              # traceback / watchdog message for aborts
     elapsed_s: float = 0.0       # wall-clock of the worker
+    #: per-run hardware metrics summary (telemetry.summarize_run): packet
+    #: counters, detector trips, per-phase recovery latency — {} for aborts
+    metrics: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self):
         data = dataclasses.asdict(self)
@@ -55,7 +58,8 @@ class RunRecord:
                    restarts=data.get("restarts", 0),
                    episodes=data.get("episodes", 0),
                    error=data.get("error", ""),
-                   elapsed_s=data.get("elapsed_s", 0.0))
+                   elapsed_s=data.get("elapsed_s", 0.0),
+                   metrics=dict(data.get("metrics", {})))
 
 
 def append_record(path, record):

@@ -55,7 +55,8 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
             num_nodes=schedule.num_nodes, topology=schedule.topology,
             mem_per_node=mem_per_node, l2_size=l2_size, seed=seed)
         result = run_schedule_experiment(schedule, config=config, seed=seed,
-                                         run_limit=run_limit)
+                                         run_limit=run_limit,
+                                         collect_metrics=True)
         result_queue.put({
             "status": (RunStatus.PASS if result.passed
                        else RunStatus.FAIL).value,
@@ -63,6 +64,7 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
             "restarts": result.restarts,
             "episodes": result.episodes,
             "elapsed_s": time.monotonic() - started,
+            "metrics": result.metrics or {},
         })
     except (TimeoutError, RuntimeError) as exc:
         # Simulation-limit and deadlock/heap-drain conditions: the run never
@@ -266,6 +268,7 @@ class CampaignRunner:
             episodes=payload.get("episodes", 0),
             error=payload.get("error", ""),
             elapsed_s=payload.get("elapsed_s", 0.0),
+            metrics=dict(payload.get("metrics", {})),
         )
 
 

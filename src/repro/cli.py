@@ -20,6 +20,7 @@ from repro.core.experiment import (
     run_validation_experiment,
 )
 from repro.faults.models import LINK_FAULT_TYPES, FaultSpec, FaultType
+from repro.telemetry.scalability import DEFAULT_SIZES
 
 
 def _fault_from_args(args):
@@ -145,11 +146,22 @@ def cmd_campaign(args):
         mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
         progress=progress)
     summary = runner.run()
-    print(summary)
-    print("records: %s" % out_path)
+    if args.summary_json:
+        print(json.dumps({
+            "total": summary.total,
+            "passed": summary.passed,
+            "failed": summary.failed,
+            "crashed": summary.crashed,
+            "hung": summary.hung,
+            "ok": summary.ok,
+            "records": out_path,
+        }, sort_keys=True))
+    else:
+        print(summary)
+        print("records: %s" % out_path)
 
     failures = summary.failures()
-    for record in failures:
+    for record in (() if args.summary_json else failures):
         print("  %s run %d (seed %d): %s" % (
             record.status.value, record.run_index, record.seed,
             record.problems[:3] if record.problems
@@ -180,6 +192,61 @@ def cmd_campaign(args):
     # records carry; CRASHED/HUNG means the campaign machinery itself
     # could not finish a run.
     return 0 if summary.ok else 1
+
+
+def cmd_trace(args):
+    from repro.telemetry import Telemetry, build_timelines, write_chrome_trace
+    from repro.telemetry.timeline import format_timeline
+
+    telemetry = Telemetry(max_events=args.max_events)
+    config = MachineConfig(
+        num_nodes=args.nodes_count, mem_per_node=args.mem_kb << 10,
+        l2_size=args.l2_kb << 10, seed=args.seed)
+    result = run_validation_experiment(
+        _fault_from_args(args), config=config, seed=args.seed,
+        telemetry=telemetry)
+    print(result)
+    recorder = telemetry.recorder
+    write_chrome_trace(
+        recorder.events, args.out,
+        label="repro %d nodes, %s" % (args.nodes_count, args.fault))
+    timelines = build_timelines(recorder.events)
+    for timeline in timelines:
+        print(format_timeline(timeline))
+    print("%d events (%d dropped) -> %s"
+          % (len(recorder.events), recorder.dropped_events, args.out))
+    return 0 if result.passed else 1
+
+
+def cmd_bench(args):
+    from repro.telemetry.scalability import (
+        run_scalability_sweep,
+        scalability_table,
+        sweep_ok,
+        write_bench_json,
+    )
+
+    sizes = args.sizes
+    if sizes is None:
+        sizes = [n for n in DEFAULT_SIZES if n <= args.max_nodes]
+    if not sizes:
+        raise SystemExit("no sweep sizes (check --max-nodes/--sizes)")
+
+    def progress(result):
+        recovery = result.get("recovery") or {}
+        print("  %3d nodes %-22s total=%s ms wall=%.1fs"
+              % (result["nodes"], result["fault"],
+                 recovery.get("total_ms", "-"),
+                 result["sim"]["wall_s"]), file=sys.stderr)
+
+    payload = run_scalability_sweep(
+        sizes=sizes, fault_classes=args.faults, topology=args.topology,
+        mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
+        seed=args.seed, progress=progress)
+    write_bench_json(payload, args.out)
+    print(scalability_table(payload))
+    print("wrote %s" % args.out)
+    return 0 if sweep_ok(payload) else 1
 
 
 def build_parser():
@@ -260,7 +327,50 @@ def build_parser():
     p_camp.add_argument("--shrink", action="store_true",
                         help="minimize the first failing schedule and "
                              "print its repro command")
+    p_camp.add_argument("--summary-json", action="store_true",
+                        help="print one machine-readable JSON summary "
+                             "line instead of the human report")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one validation experiment with event tracing; write a "
+             "Chrome trace (chrome://tracing / Perfetto) and print the "
+             "per-phase recovery timeline")
+    add_common(p_trace)
+    p_trace.add_argument("--nodes-count", type=int, default=8)
+    p_trace.add_argument(
+        "--fault", default="node_failure",
+        choices=[t.value for t in FaultType])
+    p_trace.add_argument("--target", type=int, default=7)
+    p_trace.add_argument("--target2", type=int, default=None)
+    p_trace.add_argument("--dwell", type=float, default=None)
+    p_trace.add_argument("--drop-rate", type=float, default=None)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event JSON output path")
+    p_trace.add_argument("--max-events", type=int, default=None,
+                         help="cap on recorded events (memory bound)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="scalability benchmark sweep (nodes x fault classes); "
+             "writes BENCH_scalability.json")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--sizes", type=int, nargs="+", default=None,
+                         help="explicit machine sizes (default: %s)"
+                              % (DEFAULT_SIZES,))
+    p_bench.add_argument("--max-nodes", type=int, default=128,
+                         help="largest default size to include")
+    p_bench.add_argument("--faults", nargs="+", default=["node_failure"],
+                         choices=[t.value for t in FaultType],
+                         help="fault classes to sweep")
+    p_bench.add_argument("--topology", default="mesh",
+                         choices=["mesh", "hypercube"])
+    p_bench.add_argument("--mem-kb", type=int, default=64)
+    p_bench.add_argument("--l2-kb", type=int, default=8)
+    p_bench.add_argument("--out", default="BENCH_scalability.json")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

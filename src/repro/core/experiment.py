@@ -66,7 +66,8 @@ def expected_failed_nodes(machine, fault):
 
 
 def run_validation_experiment(fault, config=None, fill_fraction=0.6,
-                              seed=0, run_limit=30_000_000_000):
+                              seed=0, run_limit=30_000_000_000,
+                              telemetry=None):
     """One complete §5.2 validation run; returns a ValidationResult.
 
     ``fault`` may also be a :class:`~repro.campaign.schedule.FaultSchedule`,
@@ -77,9 +78,9 @@ def run_validation_experiment(fault, config=None, fill_fraction=0.6,
     if isinstance(fault, FaultSchedule):
         return run_schedule_experiment(
             fault, config=config, fill_fraction=fill_fraction, seed=seed,
-            run_limit=max(run_limit, 60_000_000_000))
+            run_limit=max(run_limit, 60_000_000_000), telemetry=telemetry)
     config = config or MachineConfig(seed=seed)
-    machine = FlashMachine(config).start()
+    machine = FlashMachine(config, telemetry=telemetry).start()
     oracle = machine.oracle
 
     # Phase 1: fill caches with a random shared/exclusive pattern.
@@ -246,6 +247,9 @@ class ScheduleResult:
     restarts: int                 # §4.1 restarts summed over episodes
     episodes: int
     skipped_injections: int       # faults that hit already-failed targets
+    #: compact machine-readable metrics (telemetry.summarize_run) —
+    #: populated only when the run asked for it (collect_metrics=True)
+    metrics: dict = None
 
     def __str__(self):
         verdict = "PASS" if self.passed else "FAIL"
@@ -259,7 +263,8 @@ class ScheduleResult:
 
 def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
                             seed=0, run_limit=60_000_000_000,
-                            settle_time=2_000_000.0):
+                            settle_time=2_000_000.0, telemetry=None,
+                            collect_metrics=False):
     """One §5.2-style validation run of a whole fault schedule.
 
     The same methodology as :func:`run_validation_experiment`, generalized
@@ -271,7 +276,7 @@ def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
     """
     config = config or MachineConfig(
         num_nodes=schedule.num_nodes, topology=schedule.topology, seed=seed)
-    machine = FlashMachine(config).start()
+    machine = FlashMachine(config, telemetry=telemetry).start()
     manager = machine.recovery_manager
     oracle = machine.oracle
 
@@ -376,6 +381,11 @@ def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
         problems.append("no surviving checker completed: recovery lost the"
                         " whole machine (available=%s)" % sorted(available))
 
+    metrics = None
+    if collect_metrics:
+        from repro.telemetry.metrics import summarize_run
+        metrics = summarize_run(machine)
+
     return ScheduleResult(
         schedule=schedule,
         passed=not problems,
@@ -387,6 +397,7 @@ def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
         restarts=sum(report.restarts for report in reports),
         episodes=len(reports),
         skipped_injections=len(machine.injector.skipped),
+        metrics=metrics,
     )
 
 
@@ -444,7 +455,7 @@ def run_recovery_scalability(num_nodes, topology="mesh",
                              mem_per_node=1 << 20, l2_size=1 << 20,
                              fault=None, seed=0, fill_fraction=0.25,
                              config_overrides=None,
-                             run_limit=200_000_000_000):
+                             run_limit=200_000_000_000, telemetry=None):
     """Measure phase-resolved hardware recovery time (Figures 5.5/5.6).
 
     Returns the :class:`~repro.recovery.manager.RecoveryReport` of a
@@ -455,7 +466,7 @@ def run_recovery_scalability(num_nodes, topology="mesh",
     config = MachineConfig(
         num_nodes=num_nodes, topology=topology,
         mem_per_node=mem_per_node, l2_size=l2_size, seed=seed, **overrides)
-    machine = FlashMachine(config).start()
+    machine = FlashMachine(config, telemetry=telemetry).start()
 
     fill_lines = max(1, int(config.l2_lines * fill_fraction))
     machine.run_programs(

@@ -25,7 +25,8 @@ from repro.sim import Simulator
 class FlashMachine:
     """A simulated FLASH multiprocessor with fault containment."""
 
-    def __init__(self, config=None, hooks=None, os_recovery_callback=None):
+    def __init__(self, config=None, hooks=None, os_recovery_callback=None,
+                 telemetry=None):
         self.config = config or MachineConfig()
         self.params = self.config.params
         self.sim = Simulator(seed=self.config.seed)
@@ -54,6 +55,25 @@ class FlashMachine:
             p4_skip_flush=self.config.reliable_interconnect_p4)
         self.injector = FaultInjector(self)
         self._started = False
+        #: telemetry bundle (or None) — tracing is disabled unless one is
+        #: attached; the per-component ``trace`` attributes stay None and
+        #: every emission site reduces to a single attribute check.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self.sim)
+            self.attach_recorder(telemetry.recorder)
+
+    def attach_recorder(self, recorder):
+        """Point every instrumented component at ``recorder``."""
+        for router in self.network.routers:
+            router.trace = recorder
+        for interface in self.network.interfaces:
+            interface.trace = recorder
+        for node in self.nodes:
+            node.magic.trace = recorder
+        self.recovery_manager.trace = recorder
+        self.injector.trace = recorder
+        return recorder
 
     # ------------------------------------------------------------------ running
 

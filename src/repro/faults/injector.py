@@ -28,6 +28,7 @@ class FaultInjector:
 
     def __init__(self, machine):
         self.machine = machine
+        self.trace = None
         self.injected = []
         #: (time, spec) of faults skipped because the target had already
         #: failed — kept separate so experiments can account for them
@@ -54,6 +55,10 @@ class FaultInjector:
                 "fault %s targets an already-failed component; "
                 "recording as a no-op" % spec, stacklevel=2)
             self.skipped.append((machine.sim.now, spec))
+            tr = self.trace
+            if tr is not None:
+                tr.emit("fault", "skip", fault=fault_type.value,
+                        target=str(spec.target))
             return spec
 
         if self.pre_inject_hook is not None:
@@ -88,6 +93,10 @@ class FaultInjector:
             raise ValueError("unknown fault type %r" % fault_type)
 
         self.injected.append((self.machine.sim.now, spec))
+        tr = self.trace
+        if tr is not None:
+            tr.emit("fault", "inject", fault=fault_type.value,
+                    target=str(spec.target))
         return spec
 
     def _target_already_failed(self, spec):

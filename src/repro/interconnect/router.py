@@ -74,6 +74,7 @@ class NodeInterface:
         self._reserved = 0
         self.failed = False          # node failure: arrivals silently dropped
         self.consuming = True        # infinite-loop fault clears this
+        self.trace = None            # telemetry recorder (None: disabled)
         self._outbox = deque()
         self._pump_proc = None
         self._space_event = None
@@ -92,6 +93,11 @@ class NodeInterface:
         self._reserved = max(0, self._reserved - 1)
         if self.failed:
             return
+        tr = self.trace
+        if tr is not None:
+            tr.emit("pkt", "recv", node=self.node_id,
+                    kind=str(packet.kind), src=packet.src,
+                    lane=packet.lane.name, hops=packet.hops)
         self.inbox.put(packet)
 
     # -- controller-side API ---------------------------------------------------
@@ -116,6 +122,11 @@ class NodeInterface:
     def send(self, packet):
         """Queue an outbound packet; the pump injects it when space allows."""
         packet.inject_time = self.sim.now
+        tr = self.trace
+        if tr is not None:
+            tr.emit("pkt", "send", node=self.node_id,
+                    kind=str(packet.kind), dst=packet.dst,
+                    lane=packet.lane.name)
         self._outbox.append(packet)
         self._kick_pump()
 
@@ -171,6 +182,7 @@ class Router:
         self.discard_ports = set()   # isolation during interconnect recovery
         self.failed = False
         self.stats = RouterStats()
+        self.trace = None            # telemetry recorder (None: disabled)
 
         self._buffers = {}           # (port, lane) -> deque of packets
         self._head_since = {}        # (port, lane) -> time current head stalled
@@ -226,12 +238,21 @@ class Router:
         self._reserved[(port, lane)] = max(
             0, self._reserved[(port, lane)] - 1)
 
+    def _note_drop(self, reason, packet):
+        """Emit a telemetry event for a dropped packet (stats already
+        incremented by the caller)."""
+        tr = self.trace
+        if tr is not None:
+            tr.emit("pkt", "drop", node=self.router_id, reason=reason,
+                    kind=str(packet.kind), src=packet.src, dst=packet.dst)
+
     def receive(self, packet, port, lane):
         """A transfer completed: enqueue the packet at an input buffer."""
         self._reserved[(port, lane)] = max(
             0, self._reserved[(port, lane)] - 1)
         if self.failed:
             self.stats.dropped_failed += 1
+            self._note_drop("failed_router", packet)
             return
         if packet.is_source_routed:
             packet.trace_ports.append(port)
@@ -306,8 +327,9 @@ class Router:
         stalled_for = now - self._head_since.get(key, now)
         threshold = self.params.recovery_stall_discard
         if stalled_for >= threshold:
-            buffer.popleft()
+            packet = buffer.popleft()
             self.stats.dropped_stall += 1
+            self._note_drop("stall", packet)
             if buffer:
                 self._head_since[key] = now
             self._credit_upstream(port)
@@ -344,6 +366,7 @@ class Router:
 
         if out_port is None:
             self.stats.dropped_unroutable += 1
+            self._note_drop("unroutable", packet)
             return "moved"   # consumed (dropped)
 
         if out_port == LOCAL_PORT and packet.kind in (
@@ -360,6 +383,7 @@ class Router:
 
         if out_port in self.discard_ports:
             self.stats.dropped_discard += 1
+            self._note_drop("discard_port", packet)
             return "moved"
 
         if out_port == LOCAL_PORT:
@@ -369,11 +393,13 @@ class Router:
             # Table inconsistency during reconfiguration: drop rather than
             # bounce forever.
             self.stats.dropped_unroutable += 1
+            self._note_drop("bounce", packet)
             return "moved"
 
         link = self.links.get(out_port)
         if link is None:
             self.stats.dropped_unroutable += 1
+            self._note_drop("no_link", packet)
             return "moved"
 
         if self._output_busy_until[out_port] > now:
@@ -384,11 +410,13 @@ class Router:
         if link.failed:
             # Black hole: the packet is sunk (paper §4.1).
             self.stats.dropped_link += 1
+            self._note_drop("failed_link", packet)
             return "moved"
 
         if link.should_drop(packet):
             # Intermittent link fault: the packet is sunk mid-crossing.
             self.stats.dropped_intermittent += 1
+            self._note_drop("intermittent", packet)
             return "moved"
 
         downstream, downstream_port = link.other_side(self.router_id)
@@ -481,9 +509,15 @@ class Router:
         if self.failed:
             return
         self.failed = True
+        lost = 0
         for buffer in self._buffers.values():
             self.stats.dropped_failed += len(buffer)
+            lost += len(buffer)
             buffer.clear()
+        tr = self.trace
+        if tr is not None:
+            tr.emit("pkt", "drop", node=self.router_id,
+                    reason="router_fail", count=lost)
 
     def set_discard_ports(self, ports):
         self.discard_ports = set(ports)

@@ -142,6 +142,7 @@ class Magic:
         #: fn(node_id, reason) -> None
         self.recovery_trigger = None
         self.stats = MagicStats()
+        self.trace = None           # telemetry recorder (None: disabled)
         self._proc = None
 
     # ------------------------------------------------------------------ wiring
@@ -196,6 +197,10 @@ class Magic:
         if packet.truncated:
             # A truncated packet proves a hardware fault occurred (§4.2).
             self.stats.truncated_received += 1
+            tr = self.trace
+            if tr is not None:
+                tr.emit("detect", "truncated", node=self.node_id,
+                        kind=str(packet.kind), src=packet.src)
             self._fail_pending_access_with(
                 BusErrorKind.TRUNCATED_DATA, packet)
             self.trigger_recovery("truncated_packet")
@@ -355,6 +360,10 @@ class Magic:
         if pending.nak_count >= self.params.nak_counter_limit:
             # NAK counter overflow: likely deadlock after a fault (§4.2).
             self.stats.nak_overflows += 1
+            tr = self.trace
+            if tr is not None:
+                tr.emit("detect", "nak_overflow", node=self.node_id,
+                        line=pending.line, naks=pending.nak_count)
             self.trigger_recovery("nak_overflow")
             return self.params.short_handler_time
         self.sim.schedule(
@@ -457,6 +466,10 @@ class Magic:
             return
         # Memory operation timeout: the home or the path to it failed (§4.2).
         self.stats.timeouts += 1
+        tr = self.trace
+        if tr is not None:
+            tr.emit("detect", "timeout", node=self.node_id,
+                    line=pending.line, dst=pending.dst)
         self.trigger_recovery("memory_op_timeout")
 
     def _finish_outstanding(self, key):
@@ -639,6 +652,9 @@ class Magic:
     def trigger_recovery(self, reason):
         if self.failed or self.suppress_detection:
             return
+        tr = self.trace
+        if tr is not None:
+            tr.emit("recovery", "trigger", node=self.node_id, reason=reason)
         self.hooks.on_recovery_triggered(self.node_id, reason)
         if self.recovery_trigger is not None:
             self.recovery_trigger(self.node_id, reason)

@@ -66,6 +66,7 @@ class RecoveryAgent:
     def _end_phase(self, phase):
         begin, _ = self.phase_marks[phase]
         self.phase_marks[phase] = (begin, self.sim.now)
+        self.manager.note_phase_exit(phase, self.node_id, self.epoch)
 
     # ------------------------------------------------------------------- main
 
@@ -186,6 +187,11 @@ class RecoveryAgent:
                     hint = their_hint
                     self.used_hint = True
 
+            tr = self.manager.trace
+            if tr is not None:
+                tr.emit("round", "done", node=self.node_id, round=round_no,
+                        epoch=self.epoch, changed=changed,
+                        entries=self.view.entry_count())
             if not changed and rounds_target is None:
                 # View stabilized: it is now the final global view (§4.3).
                 if hint is not None and self.bft_hints:

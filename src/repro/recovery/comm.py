@@ -268,6 +268,10 @@ class RecoveryComm:
         for child in sorted(children):
             self.send(MessageKind.BARRIER_DOWN,
                       {"barrier": name, "value": reduced}, routes[child])
+        tr = self.magic.trace
+        if tr is not None:
+            tr.emit("barrier", "done", node=self.node_id, barrier=name,
+                    epoch=self.epoch, value=reduced)
         return reduced
 
 

@@ -97,6 +97,7 @@ class RecoveryManager:
         #: campaign engine to inject faults at precise recovery moments;
         #: the recovery algorithm itself never depends on them.
         self.phase_entry_listeners = []
+        self.trace = None            # telemetry recorder (None: disabled)
         self.agents = {}             # node_id -> RecoveryAgent (this epoch)
         self.report = None
         self.reports = []
@@ -132,14 +133,29 @@ class RecoveryManager:
             self._phase4_hook_fired = False
             self.report = RecoveryReport(self.sim.now, node_id, reason)
             self.episode_done = Event(self.sim, name="recovery.episode")
+            tr = self.trace
+            if tr is not None:
+                tr.emit("episode", "begin", node=node_id,
+                        trigger_node=node_id, reason=reason,
+                        epoch=self.epoch)
         if node_id in self.agents:
             return   # already recovering in this episode
         self._begin_node(node_id)
 
     def note_phase_entry(self, phase, node_id):
         """An agent began ``phase``; inform registered observers."""
+        tr = self.trace
+        if tr is not None:
+            tr.emit("phase", "enter", node=node_id, phase=phase,
+                    epoch=self.epoch)
         for listener in list(self.phase_entry_listeners):
             listener(phase, node_id)
+
+    def note_phase_exit(self, phase, node_id, epoch):
+        """An agent finished ``phase`` (telemetry only)."""
+        tr = self.trace
+        if tr is not None:
+            tr.emit("phase", "exit", node=node_id, phase=phase, epoch=epoch)
 
     def notify_phase4_entry(self):
         """First agent reached P4 (post-drain): fire the episode hook."""
@@ -177,6 +193,10 @@ class RecoveryManager:
             return
         self._restarting = True
         self.report.restarts += 1
+        tr = self.trace
+        if tr is not None:
+            tr.emit("episode", "restart", node=node_id, reason=why,
+                    epoch=self.epoch + 1, restarts=self.report.restarts)
         if self.report.restarts > 8:
             raise RuntimeError(
                 "recovery restarted too many times (last: %s)" % why)
@@ -216,6 +236,10 @@ class RecoveryManager:
         failure unit)."""
         self._merge_report(agent)
         self.report.shutdown_nodes.add(agent.node_id)
+        tr = self.trace
+        if tr is not None:
+            tr.emit("episode", "shutdown", node=agent.node_id, reason=why,
+                    epoch=self.epoch)
         node = self.nodes[agent.node_id]
         node.fail()   # clean stop: the node no longer participates
         self._check_episode_done()
@@ -251,6 +275,12 @@ class RecoveryManager:
         report.available_nodes = set(survivors)
         self.reports.append(report)
         self.agents = {}
+        tr = self.trace
+        if tr is not None:
+            tr.emit("episode", "end", epoch=self.epoch,
+                    available=len(survivors),
+                    marked=report.marked_incoherent,
+                    restarts=report.restarts)
         if self.episode_done is not None and not self.episode_done.triggered:
             self.episode_done.trigger(report)
         if self.os_recovery_callback is not None:

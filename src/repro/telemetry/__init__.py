@@ -1,0 +1,56 @@
+"""Telemetry: event tracing, metrics, timelines, and the scalability bench.
+
+The subsystem has four layers, all disabled by default (zero-cost when off):
+
+* :mod:`repro.telemetry.trace` — the structured event bus.  Instrumented
+  components (routers, node interfaces, MAGIC, the recovery manager and
+  agents, the fault injector) each hold a ``trace`` attribute that is
+  ``None`` unless a :class:`TraceRecorder` was attached; every emission
+  site is guarded by a single ``is None`` check, which is the whole
+  overhead contract (see DESIGN.md §9).
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms with
+  per-node labels and machine-wide aggregation, plus harvesting of the
+  hardware stats (RouterStats, MagicStats, RecoveryReports) that the model
+  maintains anyway.
+* :mod:`repro.telemetry.timeline` — reconstruction of per-episode recovery
+  timelines (P1..P4 spans per node, critical path) from a trace.
+* :mod:`repro.telemetry.chrome` — Chrome ``trace_event`` JSON export for
+  chrome://tracing / Perfetto.
+
+:mod:`repro.telemetry.scalability` builds the paper's Section 6 style
+recovery-latency-vs-machine-size sweep on top (``repro.cli bench``).
+"""
+
+from repro.telemetry.chrome import to_chrome_trace, write_chrome_trace
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    harvest_machine_metrics,
+    summarize_run,
+)
+from repro.telemetry.scalability import (
+    DEFAULT_SIZES,
+    run_scalability_sweep,
+    scalability_table,
+    sublinear_check,
+    write_bench_json,
+)
+from repro.telemetry.timeline import EpisodeTimeline, build_timelines
+from repro.telemetry.trace import NULL_RECORDER, Telemetry, TraceEvent, TraceRecorder
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "EpisodeTimeline",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "Telemetry",
+    "TraceEvent",
+    "TraceRecorder",
+    "build_timelines",
+    "harvest_machine_metrics",
+    "run_scalability_sweep",
+    "scalability_table",
+    "sublinear_check",
+    "summarize_run",
+    "to_chrome_trace",
+    "write_bench_json",
+]

@@ -1,0 +1,194 @@
+"""Timeline reconstruction: from a raw trace to recovery-phase breakdowns.
+
+The recovery manager knows aggregate phase end times, but a trace carries
+the full per-node structure: when each node's agent entered and left each
+phase, across restarts.  :func:`build_timelines` reconstructs one
+:class:`EpisodeTimeline` per recovery episode, exposing:
+
+* per-node phase spans (who was slow, and in which phase);
+* per-phase latency from the trigger (the paper's Figure 5.5 quantities);
+* the *critical path*: for each phase, the node whose completion gated it.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class PhaseSpan:
+    """One node's execution of one recovery phase (in one epoch)."""
+
+    node: int
+    phase: str
+    epoch: int
+    start: float
+    end: float = None         # None: phase was cut short (restart/shutdown)
+
+    @property
+    def duration(self):
+        return None if self.end is None else self.end - self.start
+
+
+PHASE_ORDER = ("P1", "P2", "P3", "P4")
+
+
+class EpisodeTimeline:
+    """All phase activity of one recovery episode (including restarts)."""
+
+    def __init__(self, index, trigger_time, trigger_node, trigger_reason):
+        self.index = index
+        self.trigger_time = trigger_time
+        self.trigger_node = trigger_node
+        self.trigger_reason = trigger_reason
+        self.end_time = None
+        self.restarts = 0
+        self.spans = []           # all PhaseSpans, every epoch
+        self.final_epoch = None
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def total_duration(self):
+        if self.end_time is None:
+            return None
+        return self.end_time - self.trigger_time
+
+    def _final_spans(self, phase=None):
+        return [span for span in self.spans
+                if span.epoch == self.final_epoch and span.end is not None
+                and (phase is None or span.phase == phase)]
+
+    def phase_latency(self, phase):
+        """Trigger -> last node finished ``phase`` (the figure quantity)."""
+        spans = self._final_spans(phase)
+        if not spans:
+            return None
+        return max(span.end for span in spans) - self.trigger_time
+
+    def phase_window(self, phase):
+        """(first entry, last exit) of ``phase`` across nodes, or None."""
+        spans = self._final_spans(phase)
+        if not spans:
+            return None
+        return (min(span.start for span in spans),
+                max(span.end for span in spans))
+
+    def critical_node(self, phase):
+        """The node whose completion gated ``phase`` machine-wide."""
+        spans = self._final_spans(phase)
+        if not spans:
+            return None
+        return max(spans, key=lambda span: (span.end, span.node)).node
+
+    def critical_path(self):
+        """phase -> (gating node, latency from trigger) for P1..P4."""
+        path = {}
+        for phase in PHASE_ORDER:
+            latency = self.phase_latency(phase)
+            if latency is not None:
+                path[phase] = (self.critical_node(phase), latency)
+        return path
+
+    def per_node(self, node):
+        """phase -> (start, end) for one node (final epoch only)."""
+        return {span.phase: (span.start, span.end)
+                for span in self._final_spans() if span.node == node}
+
+    def participating_nodes(self):
+        return sorted({span.node for span in self._final_spans()})
+
+    def breakdown(self):
+        """JSON-friendly per-phase / per-node latency breakdown."""
+        phases = {}
+        for phase in PHASE_ORDER:
+            latency = self.phase_latency(phase)
+            if latency is None:
+                continue
+            window = self.phase_window(phase)
+            phases[phase] = {
+                "latency_from_trigger_ns": latency,
+                "window_ns": list(window),
+                "critical_node": self.critical_node(phase),
+                "per_node_ns": {
+                    str(span.node): [span.start, span.end]
+                    for span in self._final_spans(phase)
+                },
+            }
+        return {
+            "episode": self.index,
+            "trigger": {"time_ns": self.trigger_time,
+                        "node": self.trigger_node,
+                        "reason": self.trigger_reason},
+            "total_ns": self.total_duration,
+            "restarts": self.restarts,
+            "phases": phases,
+        }
+
+    def __repr__(self):
+        return "<EpisodeTimeline #%d trigger=%s@%.0f total=%s restarts=%d>" % (
+            self.index, self.trigger_reason, self.trigger_time,
+            self.total_duration, self.restarts)
+
+
+def build_timelines(events):
+    """Reconstruct :class:`EpisodeTimeline` objects from a trace.
+
+    ``events`` is an iterable of :class:`~repro.telemetry.trace.TraceEvent`
+    in emission order (a recorder's ``events`` list).  Spans cut short by a
+    restart keep ``end=None``; the final epoch's spans define the
+    episode's breakdown.
+    """
+    timelines = []
+    current = None
+    open_spans = {}           # (node, phase, epoch) -> PhaseSpan
+
+    for event in events:
+        if event.category == "episode":
+            if event.name == "begin":
+                current = EpisodeTimeline(
+                    len(timelines), event.time,
+                    event.data.get("trigger_node", event.node),
+                    event.data.get("reason"))
+                open_spans = {}
+            elif current is None:
+                continue
+            elif event.name == "restart":
+                current.restarts += 1
+            elif event.name == "end":
+                current.end_time = event.time
+                current.final_epoch = event.data.get("epoch")
+                if current.final_epoch is None and current.spans:
+                    current.final_epoch = max(
+                        span.epoch for span in current.spans)
+                timelines.append(current)
+                current = None
+        elif event.category == "phase" and current is not None:
+            phase = event.data.get("phase")
+            epoch = event.data.get("epoch", 0)
+            key = (event.node, phase, epoch)
+            if event.name == "enter":
+                span = PhaseSpan(event.node, phase, epoch, event.time)
+                open_spans[key] = span
+                current.spans.append(span)
+            elif event.name == "exit":
+                span = open_spans.pop(key, None)
+                if span is not None:
+                    span.end = event.time
+    return timelines
+
+
+def format_timeline(timeline):
+    """Human-readable critical-path summary of one episode."""
+    lines = ["episode %d: trigger %s on node %s at %.3f ms, total %s"
+             % (timeline.index, timeline.trigger_reason,
+                timeline.trigger_node, timeline.trigger_time / 1e6,
+                "%.3f ms" % (timeline.total_duration / 1e6)
+                if timeline.total_duration is not None else "incomplete")]
+    if timeline.restarts:
+        lines.append("  restarts: %d" % timeline.restarts)
+    for phase in PHASE_ORDER:
+        latency = timeline.phase_latency(phase)
+        if latency is None:
+            continue
+        lines.append("  %s done at +%.3f ms (critical node %s)"
+                     % (phase, latency / 1e6, timeline.critical_node(phase)))
+    return "\n".join(lines)

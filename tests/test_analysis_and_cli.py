@@ -57,3 +57,67 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "total [ms]" in out
+
+
+class TestTraceCli:
+    def test_trace_command_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "trace.json"
+        code = main(["trace", "--fault", "node_failure", "--target", "3",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "PASS" in printed
+        assert "episode 0" in printed       # timeline summary
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_trace_max_events_cap(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(["trace", "--fault", "false_alarm", "--target", "0",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                     "--max-events", "10", "--out", str(out)])
+        assert code == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestBenchCli:
+    def test_bench_small_sweep(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "BENCH_scalability.json"
+        code = main(["bench", "--sizes", "4", "8", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Recovery scalability" in printed
+        payload = json.loads(out.read_text())
+        assert payload["sizes"] == [4, 8]
+        assert all(r["completed"] for r in payload["results"])
+
+    def test_bench_rejects_empty_size_list(self):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            main(["bench", "--max-nodes", "2"])
+
+
+class TestCampaignSummaryJson:
+    def test_summary_json_is_machine_readable(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "campaign.jsonl"
+        code = main(["campaign", "--runs", "2", "--nodes-count", "4",
+                     "--schedule", "false-alarm-storm", "--summary-json",
+                     "--mem-kb", "64", "--l2-kb", "8", "--out", str(out)])
+        printed = capsys.readouterr().out.strip().splitlines()
+        summary = json.loads(printed[-1])
+        assert summary["total"] == 2
+        assert summary["records"] == str(out)
+        assert set(summary) >= {"passed", "failed", "crashed", "hung", "ok"}
+        # Exit status mirrors batch health: non-zero iff CRASHED/HUNG runs.
+        assert (code == 0) == summary["ok"]
+        # Every record carries its per-run metrics summary.
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 2
+        for record in records:
+            if record["status"] in ("pass", "fail"):
+                assert "recovery" in record["metrics"]

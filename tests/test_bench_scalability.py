@@ -1,0 +1,119 @@
+"""Tests for the scalability benchmark harness (repro.telemetry.scalability).
+
+The directed sub-linearity test is the paper's headline claim (§5.3) in
+executable form: recovery latency must grow slower than machine size.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.models import FaultType
+from repro.interconnect.topology import make_topology
+from repro.telemetry.scalability import (
+    DEFAULT_SIZES,
+    default_fault,
+    run_scalability_sweep,
+    scalability_table,
+    sublinear_check,
+    sweep_ok,
+    write_bench_json,
+)
+
+
+class TestDefaultFault:
+    def test_node_fault_strikes_highest_id(self):
+        topology = make_topology("mesh", 8)
+        fault = default_fault("node_failure", 8, topology)
+        assert fault.fault_type is FaultType.NODE_FAILURE
+        assert fault.target == 7
+
+    def test_link_fault_touches_victim(self):
+        topology = make_topology("mesh", 8)
+        fault = default_fault("link_failure", 8, topology)
+        assert fault.fault_type is FaultType.LINK_FAILURE
+        assert 7 in fault.target
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """A 4/8/16-node sweep — the CI smoke shape, shared across tests."""
+    return run_scalability_sweep(sizes=(4, 8, 16))
+
+
+class TestSweepPayload:
+    def test_payload_structure(self, small_sweep):
+        payload = small_sweep
+        assert payload["version"] == 1
+        assert payload["benchmark"] == "recovery-scalability"
+        assert payload["sizes"] == [4, 8, 16]
+        assert len(payload["results"]) == 3
+        for result in payload["results"]:
+            assert result["completed"]
+            recovery = result["recovery"]
+            assert recovery["total_ms"] > 0
+            assert set(recovery["phase_durations_ms"]) >= {
+                "P1", "P2", "P3", "P4"}
+            # Cumulative latencies are ordered: P1 <= P1,2 <= P1,2,3 <= total
+            assert (recovery["P1_ms"] <= recovery["P12_ms"]
+                    <= recovery["P123_ms"] <= recovery["total_ms"])
+        assert sweep_ok(payload)
+
+    def test_payload_json_roundtrip(self, small_sweep, tmp_path):
+        path = tmp_path / "BENCH_scalability.json"
+        write_bench_json(small_sweep, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["sizes"] == [4, 8, 16]
+        assert len(loaded["results"]) == 3
+
+    def test_table_renders_each_size(self, small_sweep):
+        table = scalability_table(small_sweep)
+        assert "node_failure" in table
+        for size in (4, 8, 16):
+            assert "\n%d" % size in table
+
+    def test_recovery_latency_grows_sublinearly(self, small_sweep):
+        """Directed test of the paper's scalability claim: 4x the nodes
+        must cost less than 4x the recovery time."""
+        verdict = small_sweep["sublinear"]["node_failure"]
+        assert verdict["ok"], verdict
+        assert verdict["latency_ratio"] < verdict["node_ratio"] == 4.0
+
+
+class TestSublinearCheck:
+    def test_needs_two_completed_points(self):
+        assert not sublinear_check([])["ok"]
+        assert not sublinear_check(
+            [{"nodes": 4, "completed": True,
+              "recovery": {"total_ms": 1.0}}])["ok"]
+
+    def test_flags_superlinear_growth(self):
+        results = [
+            {"nodes": 4, "completed": True, "recovery": {"total_ms": 1.0}},
+            {"nodes": 16, "completed": True, "recovery": {"total_ms": 8.0}},
+        ]
+        verdict = sublinear_check(results)
+        assert not verdict["ok"]
+        assert verdict["latency_ratio"] == 8.0
+        assert verdict["node_ratio"] == 4.0
+
+    def test_incomplete_points_excluded(self):
+        results = [
+            {"nodes": 4, "completed": True, "recovery": {"total_ms": 1.0}},
+            {"nodes": 8, "completed": False},
+            {"nodes": 16, "completed": True, "recovery": {"total_ms": 2.0}},
+        ]
+        verdict = sublinear_check(results)
+        assert verdict["ok"] and verdict["nodes"] == [4, 16]
+
+    def test_incomplete_point_fails_sweep_gate(self):
+        payload = {"results": [{"completed": True}, {"completed": False}]}
+        assert not sweep_ok(payload)
+        assert not sweep_ok({"results": []})
+
+
+class TestDefaults:
+    def test_default_sizes_reach_128(self):
+        assert DEFAULT_SIZES[0] == 4
+        assert DEFAULT_SIZES[-1] == 128
+        assert list(DEFAULT_SIZES) == sorted(DEFAULT_SIZES)

@@ -1,0 +1,98 @@
+"""Schema tests for the Chrome trace_event export (repro.telemetry.chrome).
+
+The output must follow the Trace Event Format's JSON-object flavour so it
+loads directly in chrome://tracing / Perfetto: a ``traceEvents`` array of
+"X" (complete), "i" (instant) and "M" (metadata) events with microsecond
+timestamps.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.chrome import PID, to_chrome_trace, write_chrome_trace
+from repro.telemetry.trace import TraceEvent
+
+
+def _ev(time, category, name, node=None, **data):
+    return TraceEvent(time, category, name, node, data)
+
+
+@pytest.fixture()
+def sample_events():
+    return [
+        _ev(1_000.0, "episode", "begin", node=0,
+            trigger_node=0, reason="timeout", epoch=1),
+        _ev(2_000.0, "phase", "enter", node=0, phase="P1", epoch=1),
+        _ev(3_000.0, "phase", "enter", node=1, phase="P1", epoch=1),
+        _ev(5_000.0, "phase", "exit", node=0, phase="P1", epoch=1),
+        _ev(6_000.0, "phase", "exit", node=1, phase="P1", epoch=1),
+        _ev(7_000.0, "pkt", "drop", node=1, reason="link",
+            kind="<MessageKind.GET>"),
+        _ev(8_000.0, "episode", "end", epoch=1, available=2),
+    ]
+
+
+class TestSchema:
+    def test_top_level_shape(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+
+    def test_process_metadata_first(self, sample_events):
+        payload = to_chrome_trace(sample_events, label="my run")
+        first = payload["traceEvents"][0]
+        assert first["ph"] == "M" and first["name"] == "process_name"
+        assert first["args"]["name"] == "my run"
+
+    def test_thread_metadata_per_node(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        names = {e["tid"]: e["args"]["name"]
+                 for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names[0] == "node 0" and names[1] == "node 1"
+
+    def test_phase_pairs_become_complete_events(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            assert event["name"] == "P1"
+            assert event["cat"] == "phase"
+            assert event["pid"] == PID
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid", "args"}
+        by_tid = {e["tid"]: e for e in complete}
+        # ns -> us conversion
+        assert by_tid[0]["ts"] == 2.0 and by_tid[0]["dur"] == 3.0
+        assert by_tid[1]["ts"] == 3.0 and by_tid[1]["dur"] == 3.0
+
+    def test_other_events_become_thread_instants(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {
+            "episode.begin", "pkt.drop", "episode.end"}
+        for event in instants:
+            assert event["s"] == "t"
+            assert isinstance(event["ts"], float)
+
+    def test_args_sanitized_to_json_scalars(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        text = json.dumps(payload)     # must not raise
+        for event in json.loads(text)["traceEvents"]:
+            for value in event["args"].values():
+                assert isinstance(value, (str, int, float, bool,
+                                          type(None)))
+
+    def test_unpaired_enter_is_dropped(self):
+        payload = to_chrome_trace([
+            _ev(1.0, "phase", "enter", node=0, phase="P1", epoch=1)])
+        assert [e for e in payload["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_write_roundtrip(self, sample_events, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_events, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(
+            to_chrome_trace(sample_events)))

@@ -1,0 +1,164 @@
+"""Tests for the metrics registry, hardware-stat harvesting and the
+per-run summary the campaign engine records."""
+
+import pytest
+
+from repro.campaign.records import RunRecord, RunStatus
+from repro.campaign.schedule import FaultSchedule, TimedFault
+from repro.core.config import MachineConfig
+from repro.core.experiment import run_schedule_experiment
+from repro.faults.models import FaultSpec
+from repro.telemetry.metrics import (
+    MACHINE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    harvest_machine_metrics,
+    summarize_run,
+)
+from repro.telemetry.scalability import run_scalability_point
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+    def test_histogram_stats(self):
+        histogram = Histogram()
+        for value in (1, 3, 100):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 1 and histogram.max == 100
+        assert abs(histogram.mean - 104 / 3) < 1e-9
+
+    def test_histogram_power_of_two_buckets(self):
+        histogram = Histogram()
+        histogram.observe(3)     # -> bucket 4
+        histogram.observe(4)     # -> bucket 4
+        histogram.observe(5)     # -> bucket 8
+        assert histogram.buckets == {4: 2, 8: 1}
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["buckets"] == {4: 2, 8: 1}
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", node=1) is registry.counter("x", node=1)
+        assert registry.counter("x", node=1) is not registry.counter(
+            "x", node=2)
+
+    def test_machine_wide_label(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert registry.counter_by_node("x") == {}
+        assert registry.counter_total("x") == 1
+
+    def test_aggregation_across_nodes(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", node=0).inc(2)
+        registry.counter("drops", node=1).inc(3)
+        registry.counter("other", node=0).inc(100)
+        assert registry.counter_total("drops") == 5
+        assert registry.counter_by_node("drops") == {0: 2, 1: 3}
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c", node=2).inc()
+        registry.gauge("g").set(7)
+        registry.histogram("h", node=0).observe(4)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"]["2"] == 1
+        assert snapshot["gauges"]["g"][MACHINE] == 7
+        assert snapshot["histograms"]["h"]["0"]["count"] == 1
+        assert registry.names() == ["c", "g", "h"]
+
+
+class TestHarvestAndSummary:
+    def test_harvest_after_recovery(self, recovered_point):
+        machine = recovered_point
+        registry = harvest_machine_metrics(machine)
+        assert registry.counter_total("router.forwarded") > 0
+        assert registry.counter_total("magic.timeouts") >= 1
+        assert registry.counter_total("recovery.episodes") == 1
+        total = registry.histogram("recovery.total_ns")
+        assert total.count == 1 and total.min > 0
+        assert registry.gauge("sim.events_executed").value > 0
+
+    def test_summarize_run_shape(self, recovered_point):
+        summary = summarize_run(recovered_point)
+        assert summary["packets"]["forwarded"] > 0
+        assert summary["packets"]["delivered"] > 0
+        assert summary["detectors"]["timeouts"] >= 1
+        assert summary["recovery"]["episodes"] == 1
+        assert summary["recovery"]["total_ms"] > 0
+        assert set(summary["recovery"]["phase_ms"]) >= {
+            "P1", "P2", "P3", "P4"}
+        assert summary["sim_events"] > 0
+
+    def test_summary_is_json_friendly(self, recovered_point):
+        import json
+        json.dumps(summarize_run(recovered_point))
+
+
+@pytest.fixture(scope="module")
+def recovered_point():
+    """One recovered 4-node machine, shared across harvesting tests."""
+    from repro.core.experiment import _start_prober
+    from repro.core.machine import FlashMachine
+    config = MachineConfig(num_nodes=4, mem_per_node=64 << 10,
+                           l2_size=8 << 10, seed=0)
+    machine = FlashMachine(config).start()
+    machine.quiesce()
+    fault = machine.injector.inject(FaultSpec.node_failure(3))
+    _start_prober(machine, fault)
+    machine.run_until_recovered()
+    return machine
+
+
+class TestCampaignMetrics:
+    def test_schedule_experiment_collects_metrics(self):
+        schedule = FaultSchedule(
+            entries=(TimedFault(FaultSpec.node_failure(3), time=100_000.0),),
+            num_nodes=4)
+        config = MachineConfig(num_nodes=4, mem_per_node=64 << 10,
+                               l2_size=8 << 10, seed=0)
+        result = run_schedule_experiment(schedule, config=config,
+                                         collect_metrics=True)
+        assert result.metrics is not None
+        assert result.metrics["recovery"]["episodes"] == result.episodes
+        # Off by default: the plain path stays metrics-free.
+        plain = run_schedule_experiment(schedule, config=config)
+        assert plain.metrics is None
+
+    def test_run_record_metrics_roundtrip(self):
+        record = RunRecord(
+            run_index=1, seed=2, status=RunStatus.PASS,
+            schedule={"entries": []},
+            metrics={"recovery": {"episodes": 1}})
+        decoded = RunRecord.from_dict(record.to_dict())
+        assert decoded.metrics == {"recovery": {"episodes": 1}}
+
+    def test_run_record_metrics_default_empty(self):
+        decoded = RunRecord.from_dict({
+            "run_index": 0, "seed": 0, "status": "pass", "schedule": {}})
+        assert decoded.metrics == {}
+
+
+class TestScalabilityPointMetrics:
+    def test_point_reports_throughput(self):
+        result = run_scalability_point(4)
+        assert result["completed"]
+        assert result["sim"]["events_executed"] > 0
+        assert result["sim"]["events_per_sec"] > 0
+        assert result["recovery"]["total_ms"] > 0

@@ -1,0 +1,155 @@
+"""Tests for the telemetry event bus (repro.telemetry.trace).
+
+The central contract is the disabled-by-default overhead rule (DESIGN.md
+§9): without a telemetry bundle every component's ``trace`` attribute is
+None and recording cannot perturb the simulation — a traced run and an
+untraced run of the same experiment must be identical event for event.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FlashMachine
+from repro.faults.models import FaultSpec
+from repro.telemetry import NULL_RECORDER, Telemetry, TraceRecorder
+from repro.telemetry.scalability import run_scalability_point
+
+
+def small_config(num_nodes=4, seed=0):
+    return MachineConfig(num_nodes=num_nodes, mem_per_node=64 << 10,
+                         l2_size=8 << 10, seed=seed)
+
+
+class TestTraceRecorder:
+    def test_emit_records_time_and_data(self):
+        recorder = TraceRecorder()
+
+        class FakeSim:
+            now = 42.0
+
+        recorder.bind(FakeSim())
+        recorder.emit("pkt", "drop", node=3, reason="link")
+        (event,) = recorder.events
+        assert event.time == 42.0
+        assert event.key == "pkt.drop"
+        assert event.node == 3
+        assert event.data == {"reason": "link"}
+
+    def test_unbound_recorder_stamps_zero(self):
+        recorder = TraceRecorder()
+        recorder.emit("a", "b")
+        assert recorder.events[0].time == 0.0
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = TraceRecorder()
+        recorder.enabled = False
+        recorder.emit("a", "b")
+        assert len(recorder) == 0
+
+    def test_max_events_cap_counts_drops(self):
+        recorder = TraceRecorder(max_events=2)
+        for _ in range(5):
+            recorder.emit("a", "b")
+        assert len(recorder) == 2
+        assert recorder.dropped_events == 3
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.emit("a", "b", node=1, anything=2)
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.enabled is False
+
+    def test_queries_and_clear(self):
+        recorder = TraceRecorder()
+        recorder.emit("pkt", "send")
+        recorder.emit("pkt", "recv")
+        recorder.emit("detect", "timeout")
+        assert recorder.count("pkt") == 2
+        assert recorder.count("pkt", "recv") == 1
+        assert [e.key for e in recorder.events_of("detect")] == [
+            "detect.timeout"]
+        dicts = recorder.to_dicts()
+        assert dicts[0]["category"] == "pkt"
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.dropped_events == 0
+
+
+class TestZeroCostWhenDisabled:
+    def test_components_default_to_no_trace(self):
+        machine = FlashMachine(small_config())
+        assert machine.telemetry is None
+        assert all(r.trace is None for r in machine.network.routers)
+        assert all(i.trace is None for i in machine.network.interfaces)
+        assert all(n.magic.trace is None for n in machine.nodes)
+        assert machine.recovery_manager.trace is None
+        assert machine.injector.trace is None
+
+    def test_attach_recorder_reaches_every_component(self):
+        machine = FlashMachine(small_config(), telemetry=Telemetry())
+        recorder = machine.telemetry.recorder
+        assert all(r.trace is recorder for r in machine.network.routers)
+        assert all(i.trace is recorder for i in machine.network.interfaces)
+        assert all(n.magic.trace is recorder for n in machine.nodes)
+        assert machine.recovery_manager.trace is recorder
+        assert machine.injector.trace is recorder
+
+    def test_traced_and_untraced_runs_are_identical(self):
+        """Recording must not perturb the simulation: same events executed,
+        same virtual time, same recovery outcome."""
+        plain = run_scalability_point(4, seed=3)
+        traced = run_scalability_point(4, seed=3, telemetry=Telemetry())
+        assert plain["recovery"] == traced["recovery"]
+        assert plain["sim"]["sim_ns"] == traced["sim"]["sim_ns"]
+        assert (plain["sim"]["events_executed"]
+                == traced["sim"]["events_executed"])
+
+
+class TestEventCapture:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        telemetry = Telemetry()
+        result = run_scalability_point(8, telemetry=telemetry)
+        assert result["completed"]
+        return telemetry, result
+
+    def test_episode_lifecycle_events(self, traced_run):
+        telemetry, _ = traced_run
+        recorder = telemetry.recorder
+        assert recorder.count("episode", "begin") == 1
+        assert recorder.count("episode", "end") == 1
+        assert recorder.count("fault", "inject") == 1
+        assert recorder.count("recovery", "trigger") >= 1
+        assert recorder.count("detect", "timeout") >= 1
+
+    def test_phase_events_balance(self, traced_run):
+        telemetry, _ = traced_run
+        recorder = telemetry.recorder
+        enters = recorder.events_of("phase", "enter")
+        exits = recorder.events_of("phase", "exit")
+        # 7 surviving agents x 4 phases, no restarts in this scenario
+        assert len(enters) == len(exits) == 7 * 4
+        assert {e.data["phase"] for e in enters} == {"P1", "P2", "P3", "P4"}
+
+    def test_packet_and_round_events(self, traced_run):
+        telemetry, _ = traced_run
+        recorder = telemetry.recorder
+        assert recorder.count("pkt", "send") > 0
+        assert recorder.count("pkt", "recv") > 0
+        assert recorder.count("round", "done") > 0
+        assert recorder.count("barrier", "done") > 0
+
+    def test_events_are_time_ordered(self, traced_run):
+        telemetry, _ = traced_run
+        times = [e.time for e in telemetry.events]
+        assert times == sorted(times)
+
+
+class TestInjectorEvents:
+    def test_skip_event_on_already_failed_target(self):
+        telemetry = Telemetry()
+        machine = FlashMachine(small_config(), telemetry=telemetry).start()
+        machine.injector.inject(FaultSpec.node_failure(2))
+        with pytest.warns(UserWarning):
+            machine.injector.inject(FaultSpec.node_failure(2))
+        recorder = telemetry.recorder
+        assert recorder.count("fault", "inject") == 1
+        assert recorder.count("fault", "skip") == 1

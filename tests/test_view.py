@@ -7,10 +7,12 @@ view, or different nodes would disagree on the global state.
 
 from hypothesis import given, settings, strategies as st
 
+from repro.interconnect.topology import make_topology
 from repro.recovery.view import (
     LinkStatus,
     NodeStatus,
     SystemView,
+    surviving_adjacency_from_view,
 )
 
 
@@ -89,6 +91,68 @@ class TestMerge:
         a.observe_node(1, NodeStatus.ALIVE)
         b.observe_node(1, NodeStatus.ALIVE)
         assert a.signature() == b.signature()
+
+
+class TestCopyAndQueries:
+    def test_copy_is_independent(self):
+        view = SystemView()
+        view.observe_node(0, NodeStatus.ALIVE)
+        view.observe_link(0, 1, LinkStatus.UP)
+        clone = view.copy()
+        clone.observe_node(1, NodeStatus.DEAD)
+        clone.observe_link(0, 1, LinkStatus.DOWN)
+        assert view == SystemView(
+            {0: NodeStatus.ALIVE}, {frozenset((0, 1)): LinkStatus.UP})
+        assert clone != view
+
+    def test_signature_detects_difference(self):
+        a = SystemView()
+        b = SystemView()
+        a.observe_node(1, NodeStatus.ALIVE)
+        b.observe_node(1, NodeStatus.DEAD)
+        assert a.signature() != b.signature()
+
+    def test_repr_mentions_population(self):
+        view = SystemView()
+        view.observe_node(2, NodeStatus.ALIVE)
+        view.observe_link(0, 1, LinkStatus.DOWN)
+        text = repr(view)
+        assert "alive=[2]" in text and "down_links=1" in text
+
+
+class TestSurvivingAdjacency:
+    def test_full_view_keeps_full_topology(self):
+        topology = make_topology("mesh", 4)
+        view = SystemView()
+        for node_id in range(4):
+            view.observe_node(node_id, NodeStatus.ALIVE)
+        adjacency = surviving_adjacency_from_view(topology, view)
+        assert set(adjacency) == {0, 1, 2, 3}
+        edges = {(rid, nbr) for rid, entries in adjacency.items()
+                 for _, nbr, _ in entries}
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_down_link_removed_both_directions(self):
+        topology = make_topology("mesh", 4)
+        view = SystemView()
+        view.observe_link(0, 1, LinkStatus.DOWN)
+        adjacency = surviving_adjacency_from_view(topology, view)
+        assert all(nbr != 1 for _, nbr, _ in adjacency[0])
+        assert all(nbr != 0 for _, nbr, _ in adjacency[1])
+
+    def test_dead_node_router_still_forwards(self):
+        # The controller died, not the router: it must stay in the graph.
+        topology = make_topology("mesh", 4)
+        view = SystemView()
+        view.observe_node(3, NodeStatus.DEAD)
+        adjacency = surviving_adjacency_from_view(topology, view)
+        assert 3 in adjacency
+        assert any(nbr == 3 for _, nbr, _ in adjacency[1])
+
+    def test_unprobed_links_default_to_up(self):
+        topology = make_topology("mesh", 4)
+        adjacency = surviving_adjacency_from_view(topology, SystemView())
+        assert all(len(entries) == 2 for entries in adjacency.values())
 
 
 # --- property tests ------------------------------------------------------------
