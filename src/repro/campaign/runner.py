@@ -15,6 +15,10 @@ Determinism and resume:
   existing results file skips the already-recorded run indices.
 """
 
+# repro-lint: disable-file=wall-clock — this module IS the real-time
+# boundary: the watchdog and per-run elapsed_s measure wall clock around
+# crash-isolated workers; nothing here runs under the event scheduler.
+
 import dataclasses
 import hashlib
 import multiprocessing
@@ -74,7 +78,9 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
             "error": "%s: %s" % (type(exc).__name__, exc),
             "elapsed_s": time.monotonic() - started,
         })
-    except BaseException:
+    except BaseException:   # repro-lint: disable=broad-except — the
+        # crash-isolation boundary itself: any worker death must become a
+        # CRASHED record, not kill the campaign batch.
         import traceback
         result_queue.put({
             "status": RunStatus.CRASHED.value,

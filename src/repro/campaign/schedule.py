@@ -14,6 +14,7 @@ line and in JSONL records.
 
 import dataclasses
 
+from repro.common.errors import ConfigurationError
 from repro.faults.models import FaultSpec, FaultType
 from repro.interconnect.topology import make_topology
 
@@ -119,7 +120,9 @@ def valid_for_machine(schedule, num_nodes, topology=None):
     topology = topology or schedule.topology
     try:
         topo = make_topology(topology, num_nodes)
-    except Exception:
+    except ConfigurationError:
+        # The only expected failure: this machine shape cannot be built
+        # (too few nodes, unknown topology kind).
         return False
     link_pairs = {frozenset((a, b)) for a, _, b, _ in topo.links()}
     for entry in schedule.entries:

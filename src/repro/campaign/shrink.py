@@ -46,10 +46,15 @@ def shrink_schedule(schedule, still_fails, machine_sizes=(2, 4, 6),
 
     ``still_fails`` must be a pure-ish predicate (typically: run the
     schedule under :func:`~repro.core.experiment.run_schedule_experiment`
-    with the failing seed and report ``not result.passed`` — or a
-    crash/hang, which also counts as failing).  The original schedule is
-    assumed failing and is never re-checked.  ``max_checks`` bounds the
-    total predicate budget.
+    with the failing seed and report ``not result.passed``).  A predicate
+    that aborts with the simulator's abort types — ``TimeoutError`` from a
+    ``run_until`` limit, ``RuntimeError`` from a drained event heap or
+    deadlock detection — counts as failing too: an abort is exactly the
+    kind of bug worth minimizing.  Any *other* exception propagates; to
+    treat arbitrary crashes as failures, run candidates through the
+    crash-isolated :func:`~repro.campaign.runner.run_schedule_isolated`,
+    which never raises.  The original schedule is assumed failing and is
+    never re-checked.  ``max_checks`` bounds the total predicate budget.
     """
     state = {"checks": 0}
     steps = []
@@ -60,9 +65,10 @@ def shrink_schedule(schedule, still_fails, machine_sizes=(2, 4, 6),
         state["checks"] += 1
         try:
             return bool(still_fails(candidate))
-        except Exception:
-            # The predicate crashing on a candidate counts as failing too —
-            # a crash is exactly the kind of bug worth minimizing.
+        except (TimeoutError, RuntimeError):
+            # The simulator's abort types (run_until limit, drained event
+            # heap) count as failing: an abort is exactly the kind of bug
+            # worth minimizing.
             return True
 
     current = schedule

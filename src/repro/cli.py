@@ -249,6 +249,25 @@ def cmd_bench(args):
     return 0 if sweep_ok(payload) else 1
 
 
+def cmd_lint(args):
+    from repro.lint import format_json, format_text, run_lint, write_baseline
+
+    findings, suppressed = run_lint(paths=args.paths or None,
+                                    baseline_path=args.baseline)
+    if args.update_baseline:
+        if args.baseline is None:
+            raise SystemExit("--update-baseline needs --baseline PATH")
+        write_baseline(args.baseline, findings)
+        print("baseline: wrote %d finding(s) to %s"
+              % (len(findings), args.baseline), file=sys.stderr)
+        return 0
+    if args.format == "json":
+        print(format_json(findings, suppressed))
+    else:
+        print(format_text(findings, suppressed))
+    return 1 if findings else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -371,6 +390,23 @@ def build_parser():
     p_bench.add_argument("--l2-kb", type=int, default=8)
     p_bench.add_argument("--out", default="BENCH_scalability.json")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST invariant linter: determinism, protocol exhaustiveness, "
+             "telemetry zero-cost guards, sim-process hygiene")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_lint.add_argument("--baseline", default=None,
+                        help="JSON baseline of grandfathered findings; "
+                             "only findings not in it are reported")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline with the current "
+                             "findings instead of reporting them")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -31,9 +31,28 @@ class ProtocolEngine:
         kind = packet.kind
         handler = _HANDLERS.get(kind)
         if handler is None:
-            self.magic.stats.stray_messages += 1
+            self._note_stray(packet, "no-handler")
             return self.params.short_handler_time
         return handler(self, packet)
+
+    def _note_stray(self, packet, reason):
+        """Record a message the protocol cannot act on.
+
+        Beyond the MagicStats counter, the stray is made visible in
+        timelines (trace event) and in live metrics, so an unhandled kind
+        shows up in a Chrome trace instead of only in post-run stats —
+        the dynamic mirror of the lint's protocol-exhaustiveness rule.
+        """
+        magic = self.magic
+        magic.stats.stray_messages += 1
+        tr = magic.trace
+        if tr is not None:
+            tr.emit("protocol", "stray", node=magic.node_id,
+                    kind=str(packet.kind), src=packet.src, reason=reason)
+        metrics = magic.metrics
+        if metrics is not None:
+            metrics.counter("protocol.stray_messages",
+                            node=magic.node_id).inc()
 
     # -------------------------------------------------------------- home: GET
 
@@ -205,10 +224,10 @@ class ProtocolEngine:
             # A writeback for a line already declared lost: the data is
             # stale by definition (the mark happened during recovery after
             # the flush); ignore it.
-            magic.stats.stray_messages += 1
+            self._note_stray(packet, "put-to-incoherent-line")
             return self.params.short_handler_time
 
-        magic.stats.stray_messages += 1
+        self._note_stray(packet, "put-without-ownership")
         return self.params.short_handler_time
 
     def _complete_pending_from_memory(self, entry, line):
@@ -232,7 +251,7 @@ class ProtocolEngine:
         entry = magic.directory.peek(line)
         if (entry is None or entry.state != DirState.LOCKED
                 or entry.pending_kind != MessageKind.GETX):
-            magic.stats.stray_messages += 1
+            self._note_stray(packet, "ack-without-pending-getx")
             return self.params.short_handler_time
         entry.awaiting_acks -= 1
         if entry.awaiting_acks > 0:
@@ -248,7 +267,7 @@ class ProtocolEngine:
         entry = magic.directory.peek(line)
         if (entry is None or entry.state != DirState.LOCKED
                 or entry.pending_kind != MessageKind.GET):
-            magic.stats.stray_messages += 1
+            self._note_stray(packet, "writeback-without-pending-get")
             return self.params.short_handler_time
         old_owner = entry.owner
         magic.memory.write_line(line, payload["value"])
@@ -265,7 +284,7 @@ class ProtocolEngine:
         entry = magic.directory.peek(line)
         if (entry is None or entry.state != DirState.LOCKED
                 or entry.pending_kind != MessageKind.GETX):
-            magic.stats.stray_messages += 1
+            self._note_stray(packet, "ownership-xfer-without-pending-getx")
             return self.params.short_handler_time
         requester = entry.pending_requester
         entry.unlock(DirState.EXCLUSIVE)

@@ -209,8 +209,11 @@ class UserProcess:
     def _run(self):
         try:
             self.result = yield from self.body
-        except Exception as error:   # noqa: BLE001 - a process may die of
-            # any kernel-surfaced error (bus error, dead cell, ...)
+        except Exception as error:   # repro-lint: disable=broad-except —
+            # the Hive process shell is a crash-isolation boundary: a
+            # process may die of any kernel-surfaced error (bus error,
+            # dead cell, ...) and must become a 'failed' state, not
+            # unwind the simulator.
             self.state = "failed"
             self.termination_reason = str(error)
             return

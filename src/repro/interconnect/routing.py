@@ -187,7 +187,7 @@ def channel_dependency_graph(adjacency, tables):
         for rid, entries in adjacency.items()
     }
     edges = set()
-    for dst in {d for table in tables.values() for d in table}:
+    for dst in sorted({d for table in tables.values() for d in table}):
         for rid, table in tables.items():
             if dst not in table:
                 continue

@@ -1,0 +1,108 @@
+"""Determinism checker: no nondeterminism can reach the event scheduler.
+
+Campaign shrinking, ``--replay`` repro commands and the bit-identical
+traced/untraced test all assume that a (schedule, seed) pair names exactly
+one simulation.  Three rules protect that contract inside the zones whose
+code runs under the scheduler:
+
+* ``wall-clock`` — no ``time.time()`` / ``datetime.now()``-style reads:
+  simulation time is :attr:`Simulator.now`, wall time belongs to the
+  crash-isolation harness only;
+* ``unseeded-random`` — no module-level ``random.*`` draws: all
+  randomness must flow through a seeded :class:`random.Random` (the
+  simulator-owned ``sim.rng`` or a seed-derived instance);
+* ``unordered-iter`` — no iteration directly over a set (or a dict
+  ``.keys()`` view) where the visit order could decide event order;
+  iterate ``sorted(...)`` instead, as the protocol handlers do.
+"""
+
+import ast
+
+from repro.lint.core import Checker, ImportMap, Severity
+
+#: package-relative prefixes whose code runs under the event scheduler
+DETERMINISM_ZONES = ("sim/", "coherence/", "interconnect/", "recovery/",
+                     "campaign/")
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: random-module callables that are *not* nondeterministic module state
+_SEEDED_FACTORIES = frozenset({"random.Random", "random.SystemRandom"})
+
+
+def _is_unordered(node, imports):
+    """Is this expression syntactically an unordered collection?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = imports.resolve(node.func)
+        if resolved in ("set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "keys" and not node.args):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_unordered(node.left, imports)
+                or _is_unordered(node.right, imports))
+    return False
+
+
+class DeterminismChecker(Checker):
+
+    rules = {
+        "wall-clock": Severity.ERROR,
+        "unseeded-random": Severity.ERROR,
+        "unordered-iter": Severity.WARNING,
+    }
+
+    zones = DETERMINISM_ZONES
+
+    def check_module(self, module):
+        if not module.in_zone(self.zones):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, imports, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(module, imports, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iter(module, imports,
+                                                generator.iter)
+
+    def _check_call(self, module, imports, node):
+        resolved = imports.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in _WALL_CLOCK:
+            yield self.finding(
+                "wall-clock", module, node.lineno,
+                "%s() reads the wall clock; simulation code must use the "
+                "simulator's virtual clock (sim.now)" % resolved)
+        elif (resolved.startswith("random.")
+                and resolved.count(".") == 1
+                and resolved not in _SEEDED_FACTORIES
+                and imports.imports_module("random")):
+            yield self.finding(
+                "unseeded-random", module, node.lineno,
+                "%s() draws from the process-global random state; route "
+                "randomness through a seeded random.Random (e.g. sim.rng)"
+                % resolved)
+
+    def _check_iter(self, module, imports, iter_node):
+        if _is_unordered(iter_node, imports):
+            yield self.finding(
+                "unordered-iter", module, iter_node.lineno,
+                "iteration order over a set/dict-view is not a simulation "
+                "invariant; iterate sorted(...) so event order is "
+                "deterministic")

@@ -1,0 +1,210 @@
+"""Protocol exhaustiveness: the static analogue of firmware assertions.
+
+The paper's MAGIC firmware asserts protocol invariants at dispatch time
+(§4.2); a message kind with no handler, or a directory state a home
+handler forgot, surfaces dynamically as a stray message or a wedged line.
+This checker proves both absent at lint time:
+
+* ``protocol-exhaustive`` — every :class:`MessageKind` member must be
+  dispatched somewhere: a ``_HANDLERS`` entry in
+  ``coherence/protocol.py``, one of MAGIC's kind sets
+  (``_REPLY_KINDS`` / ``_RECOVERY_KINDS`` / ``_ROUTER_REPLY_KINDS``), or
+  an explicit kind comparison in ``node/magic.py``'s dispatch;
+  conversely every ``_HANDLERS`` key and every ``MessageKind.X`` /
+  ``DirState.X`` reference must name a real enum member;
+* every home-side handler that branches on ``entry.state`` must either
+  cover all :class:`DirState` members or end in a fallthrough default
+  (code after its last state test — the stray/NAK path).
+"""
+
+import ast
+
+from repro.lint.core import Checker, Severity, attr_chain, enum_members
+
+MESSAGES_MODULE = "coherence/messages.py"
+PROTOCOL_MODULE = "coherence/protocol.py"
+DISPATCH_MODULE = "node/magic.py"
+TYPES_MODULE = "common/types.py"
+
+
+def _attr_members(node, enum_name):
+    """All ``<enum_name>.X`` attribute references inside ``node``."""
+    found = []
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == enum_name):
+            found.append((child.attr, child.lineno))
+    return found
+
+
+def handler_table(tree, table_name="_HANDLERS"):
+    """The module-level handler dict: kind member -> (method name, line)."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [target.id for target in node.targets
+                   if isinstance(target, ast.Name)]
+        if table_name in targets and isinstance(node.value, ast.Dict):
+            table = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                chain = attr_chain(key)
+                if chain is None or not chain.startswith("MessageKind."):
+                    continue
+                method = None
+                if isinstance(value, ast.Attribute):
+                    method = value.attr
+                elif isinstance(value, ast.Name):
+                    method = value.id
+                table[chain.split(".", 1)[1]] = (method, key.lineno)
+            return table
+    return None
+
+
+def _dispatched_kinds(tree):
+    """Kind members magic's dispatch covers outside the handler table."""
+    covered = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            names = [target.id for target in node.targets
+                     if isinstance(target, ast.Name)]
+            if any(name.endswith("_KINDS") for name in names):
+                covered |= {member for member, _ in
+                            _attr_members(node.value, "MessageKind")}
+        elif isinstance(node, ast.Compare):
+            covered |= {member for member, _ in
+                        _attr_members(node, "MessageKind")}
+    return covered
+
+
+def _state_handler_coverage(function):
+    """(states compared, has fallthrough default) for one handler.
+
+    A handler "branches on the directory state" when an ``if`` test
+    compares ``<x>.state`` against ``DirState.X``.  The default exists
+    when top-level statements follow the last such ``if`` (the handler
+    falls through to stray/NAK handling or the remaining-state path).
+    """
+    compared = set()
+    last_state_if = None
+    for index, statement in enumerate(function.body):
+        if not isinstance(statement, ast.If):
+            continue
+        test_states = set()
+        touches_state = False
+        for node in ast.walk(statement.test):
+            if isinstance(node, ast.Compare):
+                exprs = [node.left] + list(node.comparators)
+                members = set()
+                for expr in exprs:
+                    chain = attr_chain(expr)
+                    if chain is not None and chain.startswith("DirState."):
+                        members.add(chain.split(".", 1)[1])
+                if members and any(
+                        isinstance(expr, ast.Attribute)
+                        and expr.attr == "state" for expr in exprs):
+                    touches_state = True
+                    test_states |= members
+        if touches_state:
+            compared |= test_states
+            last_state_if = index
+    if last_state_if is None:
+        return None
+    has_default = (last_state_if < len(function.body) - 1
+                   or bool(function.body[last_state_if].orelse))
+    return compared, has_default
+
+
+class ProtocolChecker(Checker):
+
+    rules = {"protocol-exhaustive": Severity.ERROR}
+
+    messages_module = MESSAGES_MODULE
+    protocol_module = PROTOCOL_MODULE
+    dispatch_module = DISPATCH_MODULE
+    types_module = TYPES_MODULE
+
+    def check_project(self, project):
+        messages = project.module(self.messages_module)
+        protocol = project.module(self.protocol_module)
+        if messages is None or protocol is None:
+            return
+        kinds = enum_members(messages.tree, "MessageKind")
+        if kinds is None:
+            yield self.finding(
+                "protocol-exhaustive", messages, 1,
+                "MessageKind enum not found; the handler table cannot be "
+                "cross-checked")
+            return
+        table = handler_table(protocol.tree)
+        if table is None:
+            yield self.finding(
+                "protocol-exhaustive", protocol, 1,
+                "_HANDLERS table not found; message dispatch cannot be "
+                "cross-checked")
+            return
+
+        # Unknown members referenced anywhere in the protocol/dispatch.
+        modules = [protocol]
+        dispatch = project.module(self.dispatch_module)
+        if dispatch is not None:
+            modules.append(dispatch)
+        for module in modules:
+            for member, line in _attr_members(module.tree, "MessageKind"):
+                if member not in kinds:
+                    yield self.finding(
+                        "protocol-exhaustive", module, line,
+                        "MessageKind.%s is not a member of the MessageKind "
+                        "enum" % member)
+
+        # Every enum member needs a dispatch path.
+        covered = set(table)
+        if dispatch is not None:
+            covered |= _dispatched_kinds(dispatch.tree)
+        for member in sorted(set(kinds) - covered):
+            yield self.finding(
+                "protocol-exhaustive", messages, kinds[member],
+                "MessageKind.%s has no _HANDLERS entry and no dispatch "
+                "path in %s — it would count as a stray message at "
+                "runtime" % (member, self.dispatch_module))
+
+        yield from self._check_dir_states(project, protocol, table)
+
+    def _check_dir_states(self, project, protocol, table):
+        types = project.module(self.types_module)
+        states = (enum_members(types.tree, "DirState")
+                  if types is not None else None)
+        if states is None:
+            return
+        for member, line in _attr_members(protocol.tree, "DirState"):
+            if member not in states:
+                yield self.finding(
+                    "protocol-exhaustive", protocol, line,
+                    "DirState.%s is not a member of the DirState enum"
+                    % member)
+        handler_names = {method for method, _ in table.values()
+                         if method is not None}
+        for node in ast.walk(protocol.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.FunctionDef):
+                    continue
+                coverage = _state_handler_coverage(statement)
+                if coverage is None:
+                    continue
+                compared, has_default = coverage
+                if has_default:
+                    continue
+                missing = sorted(set(states) - compared)
+                if not missing:
+                    continue
+                where = ("handler %s" % statement.name
+                         if statement.name in handler_names
+                         else statement.name)
+                yield self.finding(
+                    "protocol-exhaustive", protocol, statement.lineno,
+                    "%s branches on entry.state but covers only {%s} with "
+                    "no fallthrough default; missing DirState members: %s"
+                    % (where, ", ".join(sorted(compared)),
+                       ", ".join(missing)))

@@ -1,0 +1,119 @@
+"""Telemetry zero-cost checker: emission sites must be identity-guarded.
+
+The §6.2 claim our bench defends — telemetry costs nothing when disabled —
+rests on one source idiom (DESIGN.md §9)::
+
+    tr = self.trace
+    if tr is not None:
+        tr.emit("pkt", "drop", node=self.router_id, reason="link")
+
+so a disabled run pays one attribute load and one identity test per site.
+A directed test asserts traced and untraced runs are bit-identical; this
+rule makes the guard itself unforgeable: every ``<x>.emit(...)`` call, and
+every instrument fetch on a nullable ``metrics`` handle
+(``metrics.counter(...)`` etc.), must sit inside an
+``if <x> is not None`` branch over the very same receiver expression.
+
+The ``telemetry/`` package itself is exempt: it *implements* the recorder
+and harvests metrics post-run, where the registry is never None.
+"""
+
+import ast
+
+from repro.lint.core import Checker, Severity, attr_chain
+
+EXEMPT_ZONES = ("telemetry/", "lint/")
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+_BODY_FIELDS = ("body", "orelse", "finalbody")
+
+
+def _guard_targets(test):
+    """Receiver chains proven non-None by this ``if`` test."""
+    targets = set()
+    nodes = [test]
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        nodes = list(test.values)
+    for node in nodes:
+        if not isinstance(node, ast.Compare):
+            continue
+        if len(node.ops) != 1 or not isinstance(node.ops[0], ast.IsNot):
+            continue
+        comparator = node.comparators[0]
+        if not (isinstance(comparator, ast.Constant)
+                and comparator.value is None):
+            continue
+        chain = attr_chain(node.left)
+        if chain is not None:
+            targets.add(chain)
+    return targets
+
+
+def _receiver(call):
+    """(chain, kind) for calls this rule covers, else (None, None)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None, None
+    chain = attr_chain(func.value)
+    if chain is None:
+        return None, None
+    if func.attr == "emit":
+        return chain, "trace"
+    if func.attr in _METRIC_FACTORIES:
+        base = chain.rsplit(".", 1)[-1]
+        if base == "metrics" or base.endswith("_metrics"):
+            return chain, "metrics"
+    return None, None
+
+
+class TelemetryGuardChecker(Checker):
+
+    rules = {"telemetry-guard": Severity.ERROR}
+
+    zones_exempt = EXEMPT_ZONES
+
+    def check_module(self, module):
+        if module.in_zone(self.zones_exempt):
+            return ()
+        findings = []
+        self._walk(module, module.tree.body, frozenset(), findings)
+        return findings
+
+    def _walk(self, module, statements, guards, findings):
+        """Check one statement list, tracking ``is not None`` guards."""
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                self._check_calls(module, statement.test, guards, findings)
+                inner = guards | _guard_targets(statement.test)
+                self._walk(module, statement.body, inner, findings)
+                self._walk(module, statement.orelse, guards, findings)
+                continue
+            for field, value in ast.iter_fields(statement):
+                if (field in _BODY_FIELDS and isinstance(value, list)
+                        and value and isinstance(value[0], ast.stmt)):
+                    self._walk(module, value, guards, findings)
+                elif field == "handlers":
+                    for handler in value:
+                        self._walk(module, handler.body, guards, findings)
+                else:
+                    nodes = value if isinstance(value, list) else [value]
+                    for node in nodes:
+                        if isinstance(node, ast.AST):
+                            self._check_calls(module, node, guards,
+                                              findings)
+
+    def _check_calls(self, module, node, guards, findings):
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            chain, kind = _receiver(child)
+            if chain is None or chain in guards:
+                continue
+            findings.append(self.finding(
+                "telemetry-guard", module, child.lineno,
+                "%s call on %r is not guarded by 'if %s is not None': "
+                "with telemetry disabled this site must cost one identity "
+                "check, nothing more (DESIGN.md §9)"
+                % ("trace emission" if kind == "trace"
+                   else "metrics instrument", chain, chain)))

@@ -143,6 +143,7 @@ class Magic:
         self.recovery_trigger = None
         self.stats = MagicStats()
         self.trace = None           # telemetry recorder (None: disabled)
+        self.metrics = None         # live metrics registry (None: disabled)
         self._proc = None
 
     # ------------------------------------------------------------------ wiring

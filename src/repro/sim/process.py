@@ -119,7 +119,9 @@ class Process:
             # Generator chose not to handle the interrupt: terminate quietly.
             self._finish(exception=exc, raise_unhandled=False)
             return
-        except Exception as exc:  # propagate: a crashed model is a test bug
+        except Exception as exc:  # repro-lint: disable=broad-except —
+            # not swallowed: the exception is re-raised by _finish so a
+            # crashed model surfaces as a test bug.
             self._finish(exception=exc, raise_unhandled=True)
             return
         finally:

@@ -153,3 +153,35 @@ class TestInjectorEvents:
         recorder = telemetry.recorder
         assert recorder.count("fault", "inject") == 1
         assert recorder.count("fault", "skip") == 1
+
+
+class TestStrayMessageTelemetry:
+    """ProtocolEngine.handle's stray path is visible in traces and metrics
+    (the dynamic counterpart of the lint's protocol-exhaustiveness rule)."""
+
+    def _stray_packet(self, machine):
+        from repro.coherence.messages import MessageKind, make_packet
+        # NAK is a reply kind with no _HANDLERS entry; feeding it straight
+        # to the protocol engine models an unhandled kind reaching dispatch.
+        return make_packet(machine.params, 0, 1, MessageKind.NAK,
+                           {"line": machine.line_homed_at(1)})
+
+    def test_stray_emits_trace_event_and_metrics_counter(self):
+        telemetry = Telemetry()
+        machine = FlashMachine(small_config(), telemetry=telemetry)
+        magic = machine.nodes[1].magic
+        cost = magic.protocol.handle(self._stray_packet(machine))
+        assert cost == machine.params.short_handler_time
+        assert magic.stats.stray_messages == 1
+        (event,) = telemetry.recorder.events_of("protocol", "stray")
+        assert event.node == 1
+        assert event.data["reason"] == "no-handler"
+        assert "NAK" in event.data["kind"]
+        assert telemetry.metrics.counter_total("protocol.stray_messages") == 1
+
+    def test_stray_path_is_inert_without_telemetry(self):
+        machine = FlashMachine(small_config())
+        magic = machine.nodes[1].magic
+        assert magic.trace is None and magic.metrics is None
+        magic.protocol.handle(self._stray_packet(machine))
+        assert magic.stats.stray_messages == 1
