@@ -42,6 +42,10 @@ class RunRecord:
     #: per-run hardware metrics summary (telemetry.summarize_run): packet
     #: counters, detector trips, per-phase recovery latency — {} for aborts
     metrics: dict = dataclasses.field(default_factory=dict)
+    #: compact forensic summary (telemetry.forensics.forensic_summary):
+    #: root causes, blast radii and the containment-audit verdict —
+    #: attached to FAIL runs only, {} otherwise
+    forensics: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self):
         data = dataclasses.asdict(self)
@@ -59,7 +63,8 @@ class RunRecord:
                    episodes=data.get("episodes", 0),
                    error=data.get("error", ""),
                    elapsed_s=data.get("elapsed_s", 0.0),
-                   metrics=dict(data.get("metrics", {})))
+                   metrics=dict(data.get("metrics", {})),
+                   forensics=dict(data.get("forensics", {})))
 
 
 def append_record(path, record):

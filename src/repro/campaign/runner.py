@@ -54,14 +54,21 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
     try:
         from repro.core.config import MachineConfig
         from repro.core.experiment import run_schedule_experiment
+        from repro.telemetry import Telemetry
+        from repro.telemetry.forensics import forensic_summary
         schedule = FaultSchedule.from_dict(schedule_dict)
         config = MachineConfig(
             num_nodes=schedule.num_nodes, topology=schedule.topology,
             mem_per_node=mem_per_node, l2_size=l2_size, seed=seed)
+        # Tracing is on for every campaign run (bit-identical to untraced
+        # by the §9 contract) so a FAIL verdict arrives with its forensic
+        # story attached instead of needing a re-run to diagnose.
+        telemetry = Telemetry(max_events=200_000)
         result = run_schedule_experiment(schedule, config=config, seed=seed,
                                          run_limit=run_limit,
+                                         telemetry=telemetry,
                                          collect_metrics=True)
-        result_queue.put({
+        payload = {
             "status": (RunStatus.PASS if result.passed
                        else RunStatus.FAIL).value,
             "problems": list(result.problems),
@@ -69,7 +76,10 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
             "episodes": result.episodes,
             "elapsed_s": time.monotonic() - started,
             "metrics": result.metrics or {},
-        })
+        }
+        if not result.passed:
+            payload["forensics"] = forensic_summary(telemetry.recorder)
+        result_queue.put(payload)
     except (TimeoutError, RuntimeError) as exc:
         # Simulation-limit and deadlock/heap-drain conditions: the run never
         # reached a verdict.
@@ -275,6 +285,7 @@ class CampaignRunner:
             error=payload.get("error", ""),
             elapsed_s=payload.get("elapsed_s", 0.0),
             metrics=dict(payload.get("metrics", {})),
+            forensics=dict(payload.get("forensics", {})),
         )
 
 

@@ -146,6 +146,20 @@ def cmd_campaign(args):
         mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
         progress=progress)
     summary = runner.run()
+    forensics_path = None
+    failing_forensics = [
+        {"run_index": record.run_index, "seed": record.seed,
+         "schedule": record.schedule, "problems": record.problems,
+         "forensics": record.forensics}
+        for record in summary.records
+        if record.status is RunStatus.FAIL and record.forensics]
+    if failing_forensics:
+        forensics_path = out_path + ".forensics.json"
+        with open(forensics_path, "w", encoding="utf-8") as handle:
+            json.dump(failing_forensics, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("forensic report (%d failing run(s)): %s"
+              % (len(failing_forensics), forensics_path), file=sys.stderr)
     if args.summary_json:
         print(json.dumps({
             "total": summary.total,
@@ -155,6 +169,7 @@ def cmd_campaign(args):
             "hung": summary.hung,
             "ok": summary.ok,
             "records": out_path,
+            "forensics": forensics_path,
         }, sort_keys=True))
     else:
         print(summary)
@@ -207,15 +222,57 @@ def cmd_trace(args):
         telemetry=telemetry)
     print(result)
     recorder = telemetry.recorder
+    events = recorder.events
+    timelines = build_timelines(events)
+    if args.episode is not None:
+        if not 0 <= args.episode < len(timelines):
+            raise SystemExit("--episode %d out of range (trace has %d "
+                             "episode(s))" % (args.episode, len(timelines)))
+        timeline = timelines[args.episode]
+        end = (timeline.end_time if timeline.end_time is not None
+               else float("inf"))
+        events = [event for event in events
+                  if timeline.trigger_time <= event.time <= end]
+        timelines = [timeline]
     write_chrome_trace(
-        recorder.events, args.out,
+        events, args.out,
         label="repro %d nodes, %s" % (args.nodes_count, args.fault))
-    timelines = build_timelines(recorder.events)
     for timeline in timelines:
         print(format_timeline(timeline))
     print("%d events (%d dropped) -> %s"
-          % (len(recorder.events), recorder.dropped_events, args.out))
+          % (len(events), recorder.dropped_events, args.out))
     return 0 if result.passed else 1
+
+
+def cmd_forensics(args):
+    from repro.telemetry import Telemetry
+    from repro.telemetry.forensics import analyze, format_forensics
+
+    telemetry = Telemetry(max_events=args.max_events)
+    config = MachineConfig(
+        num_nodes=args.nodes_count, mem_per_node=args.mem_kb << 10,
+        l2_size=args.l2_kb << 10, seed=args.seed,
+        firewall_enabled=not args.no_firewall)
+    result = run_validation_experiment(
+        _fault_from_args(args), config=config, seed=args.seed,
+        telemetry=telemetry)
+    report = analyze(telemetry.recorder)
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["run_passed"] = result.passed
+        payload["problems"] = list(result.problems)
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result)
+        for problem in result.problems:
+            print("  !", problem)
+        print(format_forensics(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("forensic report: %s" % args.out, file=sys.stderr)
+    return 0 if result.passed and report.verdict != "escape" else 1
 
 
 def cmd_bench(args):
@@ -369,7 +426,35 @@ def build_parser():
                          help="Chrome trace_event JSON output path")
     p_trace.add_argument("--max-events", type=int, default=None,
                          help="cap on recorded events (memory bound)")
+    p_trace.add_argument("--episode", type=int, default=None, metavar="N",
+                         help="export only recovery episode N's events "
+                              "(0-based; uses the episode timeline window)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_forensics = sub.add_parser(
+        "forensics",
+        help="run one traced validation experiment, reconstruct the causal "
+             "DAG and print the blast-radius / containment-audit report")
+    add_common(p_forensics)
+    p_forensics.add_argument("--nodes-count", type=int, default=8)
+    p_forensics.add_argument(
+        "--fault", default="node_failure",
+        choices=[t.value for t in FaultType])
+    p_forensics.add_argument("--target", type=int, default=7)
+    p_forensics.add_argument("--target2", type=int, default=None)
+    p_forensics.add_argument("--dwell", type=float, default=None)
+    p_forensics.add_argument("--drop-rate", type=float, default=None)
+    p_forensics.add_argument("--max-events", type=int, default=None,
+                             help="cap on recorded events (memory bound)")
+    p_forensics.add_argument("--no-firewall", action="store_true",
+                             help="disable the §3.3 firewall: the audit "
+                                  "should then observe the escape the "
+                                  "oracle detects")
+    p_forensics.add_argument("--format", choices=["text", "json"],
+                             default="text")
+    p_forensics.add_argument("--out", default=None,
+                             help="also write the full JSON report here")
+    p_forensics.set_defaults(func=cmd_forensics)
 
     p_bench = sub.add_parser(
         "bench",

@@ -48,7 +48,8 @@ class ProtocolEngine:
         tr = magic.trace
         if tr is not None:
             tr.emit("protocol", "stray", node=magic.node_id,
-                    kind=str(packet.kind), src=packet.src, reason=reason)
+                    cause=magic._cause, kind=str(packet.kind),
+                    src=packet.src, reason=reason)
         metrics = magic.metrics
         if metrics is not None:
             metrics.counter("protocol.stray_messages",

@@ -30,6 +30,8 @@ class FaultInjector:
         self.machine = machine
         self.trace = None
         self.injected = []
+        #: monotonic counter behind the forensic root-cause ids ("F0", ...)
+        self._next_root = 0
         #: (time, spec) of faults skipped because the target had already
         #: failed — kept separate so experiments can account for them
         self.skipped = []
@@ -64,40 +66,71 @@ class FaultInjector:
         if self.pre_inject_hook is not None:
             self.pre_inject_hook(spec)
 
+        # Mint the forensic root-cause id and record the injection *before*
+        # applying the fault, so the components failed below can attribute
+        # their very first casualties (truncations, buffer losses) to it.
+        root = "F%d" % self._next_root
+        self._next_root += 1
+        inject_eid = None
+        tr = self.trace
+        if tr is not None:
+            inject_eid = tr.emit("fault", "inject", fault=fault_type.value,
+                                 target=str(spec.target), root=root,
+                                 cell=self._fault_cell(spec))
+        lineage = (root, inject_eid)
+        machine.network.last_fault_lineage = lineage
+
         if fault_type == FaultType.NODE_FAILURE:
+            self._taint_node(spec.target, lineage)
             machine.nodes[spec.target].fail()
         elif fault_type == FaultType.ROUTER_FAILURE:
             # A dead router takes its links with it; the attached node
             # becomes unreachable (and will shut itself down).
-            machine.network.fail_router(spec.target)
+            machine.network.fail_router(spec.target, lineage=lineage)
         elif fault_type == FaultType.LINK_FAILURE:
             rid_a, rid_b = spec.target
-            machine.network.fail_link(rid_a, rid_b)
+            machine.network.fail_link(rid_a, rid_b, lineage=lineage)
         elif fault_type == FaultType.TRANSIENT_LINK_FAILURE:
             rid_a, rid_b = spec.target
-            machine.network.fail_link(rid_a, rid_b)
+            machine.network.fail_link(rid_a, rid_b, lineage=lineage)
             machine.sim.schedule(
                 spec.dwell or 2_000_000.0,
                 machine.network.heal_link, rid_a, rid_b)
         elif fault_type == FaultType.INTERMITTENT_LINK:
-            self._arm_intermittent_link(spec)
+            self._arm_intermittent_link(spec, lineage)
         elif fault_type == FaultType.INFINITE_LOOP:
+            self._taint_node(spec.target, lineage)
             machine.nodes[spec.target].wedge()
         elif fault_type == FaultType.DELAYED_WEDGE:
+            # The firmware is considered rogue from injection: anything it
+            # sends during the dwell descends from this fault (§3.3).
+            self._taint_node(spec.target, lineage)
             machine.sim.schedule(
                 spec.dwell or 2_000_000.0, self._wedge_if_alive, spec.target)
         elif fault_type == FaultType.FALSE_ALARM:
             # Route through MAGIC's trigger path so hooks observe it too.
-            machine.nodes[spec.target].magic.trigger_recovery("false_alarm")
+            machine.nodes[spec.target].magic.trigger_recovery(
+                "false_alarm", cause=inject_eid)
         else:
             raise ValueError("unknown fault type %r" % fault_type)
 
         self.injected.append((self.machine.sim.now, spec))
-        tr = self.trace
-        if tr is not None:
-            tr.emit("fault", "inject", fault=fault_type.value,
-                    target=str(spec.target))
         return spec
+
+    def _taint_node(self, node_id, lineage):
+        """Mark a node's controller and interface as causally downstream of
+        a fault: packets they originate or sink carry the lineage."""
+        magic = self.machine.nodes[node_id].magic
+        magic.fault_lineage = lineage
+        magic.ni.fault_lineage = lineage
+
+    def _fault_cell(self, spec):
+        """Sorted node ids of the failure unit(s) this fault lands in."""
+        manager = self.machine.recovery_manager
+        if spec.fault_type in LINK_FAULT_TYPES:
+            rid_a, rid_b = spec.target
+            return sorted(manager.unit_of(rid_a) | manager.unit_of(rid_b))
+        return sorted(manager.unit_of(spec.target))
 
     def _target_already_failed(self, spec):
         machine = self.machine
@@ -129,7 +162,7 @@ class FaultInjector:
             return
         node.wedge()
 
-    def _arm_intermittent_link(self, spec):
+    def _arm_intermittent_link(self, spec, lineage=None):
         """Drops start now and stop at dwell expiry — or as soon as any
         recovery begins.  The quiet drain period lets the flaky connector
         settle; more importantly it keeps the §5.2 oracle sound: after the
@@ -139,6 +172,8 @@ class FaultInjector:
         rid_a, rid_b = spec.target
         rate = spec.drop_rate if spec.drop_rate is not None else 0.3
         machine.network.set_link_drop(rid_a, rid_b, rate, machine.sim.rng)
+        if lineage is not None:
+            machine.network.link_between(rid_a, rid_b).fault_lineage = lineage
 
         def disarm(*_args):
             machine.network.set_link_drop(rid_a, rid_b, 0.0, None)

@@ -16,6 +16,7 @@ Two transient behaviours support the multi-fault campaign engine
 """
 
 from repro.common.types import Lane
+from repro.interconnect.packet import merge_causes
 
 _NORMAL_LANES = (Lane.REQUEST, Lane.REPLY)
 
@@ -35,6 +36,9 @@ class Link:
         #: packet at transfer start, and the RNG the decision draws from
         self.drop_rate = 0.0
         self._drop_rng = None
+        #: (root id, inject eid) of the fault that broke this link, for
+        #: causal attribution of truncations and drops (forensics §11)
+        self.fault_lineage = None
 
     def endpoints(self):
         return (self.router_a.router_id, self.router_b.router_id)
@@ -47,13 +51,20 @@ class Link:
             return self.router_a, self.port_a
         raise ValueError("router %r not on this link" % from_router_id)
 
-    def fail(self):
+    def fail(self, lineage=None):
         """Fail the link: truncate whatever is mid-transfer right now."""
         if self.failed:
             return
         self.failed = True
+        if lineage is not None:
+            self.fault_lineage = lineage
         for record in self.in_flight:
-            record.packet.truncate()
+            packet = record.packet
+            packet.truncate()
+            if lineage is not None:
+                if packet.root_cause is None:
+                    packet.root_cause = lineage[0]
+                packet.cause_eid = merge_causes(packet.cause_eid, lineage[1])
 
     def heal(self):
         """Undo a failure (transient link fault): traffic flows again."""

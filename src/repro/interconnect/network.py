@@ -32,6 +32,10 @@ class Network:
             for nid in range(topology.num_nodes)]
         self.links = []
         self._link_by_pair = {}
+        #: (root id, inject eid) of the most recent injected fault; the
+        #: fallback for causal attribution of timeouts whose target
+        #: component does not itself record a lineage (forensics §11)
+        self.last_fault_lineage = None
 
         for rid_a, port_a, rid_b, port_b in topology.links():
             link = Link(self.routers[rid_a], port_a,
@@ -65,20 +69,20 @@ class Network:
 
     # -- fault injection ----------------------------------------------------------
 
-    def fail_link(self, rid_a, rid_b):
+    def fail_link(self, rid_a, rid_b, lineage=None):
         link = self.link_between(rid_a, rid_b)
         if link is None:
             raise ValueError("no link between %d and %d" % (rid_a, rid_b))
-        link.fail()
+        link.fail(lineage)
         self.routers[rid_a].notify()
         self.routers[rid_b].notify()
 
-    def fail_router(self, router_id):
+    def fail_router(self, router_id, lineage=None):
         """Router failure == the router plus all of its links fail (§4.1)."""
         router = self.routers[router_id]
-        router.fail()
+        router.fail(lineage)
         for link in list(router.links.values()):
-            link.fail()
+            link.fail(lineage)
             other, _ = link.other_side(router_id)
             other.notify()
 
@@ -115,6 +119,24 @@ class Network:
     def wedge_node_interface(self, node_id):
         """Infinite-loop fault: the controller stops draining its inbox."""
         self.interfaces[node_id].stop_consuming()
+
+    def fault_lineage_of(self, node_id):
+        """Best-effort causal attribution for a silent non-response.
+
+        A timeout on a request to ``node_id`` cannot observe *which* fault
+        swallowed the traffic; this mirrors the hardware's situation (paper
+        §4.2 timeouts carry no provenance).  We attribute to the target's
+        own interface or router fault if one is recorded, else to the most
+        recent injected fault — a documented heuristic, exact for
+        single-fault runs.
+        """
+        lineage = self.interfaces[node_id].fault_lineage
+        if lineage is not None:
+            return lineage
+        lineage = self.routers[node_id].fault_lineage
+        if lineage is not None:
+            return lineage
+        return self.last_fault_lineage
 
     # -- ground-truth state (oracle/tests only) --------------------------------------
 

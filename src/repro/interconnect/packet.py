@@ -21,6 +21,24 @@ ROUTER_CTRL_ACK = "router_ctrl_ack"
 _uid_counter = itertools.count()
 
 
+def merge_causes(a, b):
+    """Combine two causal-parent references (eid, tuple of eids, or None).
+
+    Returns the non-None side when only one is set, otherwise a flat tuple
+    of distinct parents (a single eid stays a bare int).  Used wherever two
+    provenance chains meet: a packet sunk at a failed interface descends
+    both from its send and from the fault that killed the interface.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    first = a if isinstance(a, tuple) else (a,)
+    second = b if isinstance(b, tuple) else (b,)
+    merged = first + tuple(eid for eid in second if eid not in first)
+    return merged[0] if len(merged) == 1 else merged
+
+
 class Packet:
     """A message in flight.
 
@@ -44,7 +62,7 @@ class Packet:
     __slots__ = (
         "src", "dst", "lane", "kind", "payload", "flits",
         "source_route", "route_index", "truncated", "hops", "uid",
-        "inject_time", "trace_ports",
+        "inject_time", "trace_ports", "root_cause", "cause_eid",
     )
 
     def __init__(self, src, dst, lane, kind, payload=None, flits=2,
@@ -61,6 +79,12 @@ class Packet:
         self.hops = 0
         self.uid = next(_uid_counter)
         self.inject_time = None
+        # Causal lineage (forensics, DESIGN.md §11): the fault root id this
+        # packet descends from (if any) and the eid of the most recent trace
+        # event on its provenance chain.  Pure data — nothing in the
+        # interconnect branches on these, so untraced runs are unperturbed.
+        self.root_cause = None
+        self.cause_eid = None
         # Ports by which the packet arrived at each router along its path;
         # reversing this list yields the source route for a reply (used by
         # router probes and recovery pings).

@@ -31,6 +31,7 @@ from repro.interconnect.packet import (
     ROUTER_PROBE_REPLY,
     ROUTER_SET_DISCARD,
     ROUTER_SET_TABLE,
+    merge_causes,
 )
 from repro.sim.process import Event
 
@@ -39,6 +40,14 @@ LOCAL_PORT = -1
 
 _NORMAL_LANES = (Lane.REQUEST, Lane.REPLY)
 _RECOVERY_LANES = (Lane.RECOVERY_A, Lane.RECOVERY_B)
+
+
+def _payload_line(packet):
+    """Memory line carried by a packet, if its payload names one."""
+    payload = packet.payload
+    if type(payload) is dict:
+        return payload.get("line")
+    return None
 
 
 class RouterStats:
@@ -75,6 +84,7 @@ class NodeInterface:
         self.failed = False          # node failure: arrivals silently dropped
         self.consuming = True        # infinite-loop fault clears this
         self.trace = None            # telemetry recorder (None: disabled)
+        self.fault_lineage = None    # (root id, inject eid) when failed
         self._outbox = deque()
         self._pump_proc = None
         self._space_event = None
@@ -92,12 +102,33 @@ class NodeInterface:
     def complete_delivery(self, packet):
         self._reserved = max(0, self._reserved - 1)
         if self.failed:
+            tr = self.trace
+            if tr is not None:
+                # The failed controller sinks the packet: the sink event
+                # descends both from the packet's own chain and from the
+                # fault that killed this interface.
+                root, cause = packet.root_cause, packet.cause_eid
+                lineage = self.fault_lineage
+                if lineage is not None:
+                    if root is None:
+                        root = lineage[0]
+                    cause = merge_causes(cause, lineage[1])
+                tr.emit("pkt", "sink", node=self.node_id, cause=cause,
+                        kind=str(packet.kind), src=packet.src,
+                        lane=packet.lane.name, uid=packet.uid, root=root,
+                        line=_payload_line(packet))
             return
         tr = self.trace
         if tr is not None:
-            tr.emit("pkt", "recv", node=self.node_id,
-                    kind=str(packet.kind), src=packet.src,
-                    lane=packet.lane.name, hops=packet.hops)
+            eid = tr.emit("pkt", "recv", node=self.node_id,
+                          cause=packet.cause_eid, kind=str(packet.kind),
+                          src=packet.src, lane=packet.lane.name,
+                          hops=packet.hops, uid=packet.uid,
+                          truncated=packet.truncated,
+                          root=packet.root_cause,
+                          line=_payload_line(packet))
+            if eid is not None:
+                packet.cause_eid = eid
         self.inbox.put(packet)
 
     # -- controller-side API ---------------------------------------------------
@@ -124,9 +155,13 @@ class NodeInterface:
         packet.inject_time = self.sim.now
         tr = self.trace
         if tr is not None:
-            tr.emit("pkt", "send", node=self.node_id,
-                    kind=str(packet.kind), dst=packet.dst,
-                    lane=packet.lane.name)
+            eid = tr.emit("pkt", "send", node=self.node_id,
+                          cause=packet.cause_eid, kind=str(packet.kind),
+                          dst=packet.dst, lane=packet.lane.name,
+                          uid=packet.uid, root=packet.root_cause,
+                          line=_payload_line(packet))
+            if eid is not None:
+                packet.cause_eid = eid
         self._outbox.append(packet)
         self._kick_pump()
 
@@ -183,6 +218,7 @@ class Router:
         self.failed = False
         self.stats = RouterStats()
         self.trace = None            # telemetry recorder (None: disabled)
+        self.fault_lineage = None    # (root id, inject eid) when failed
 
         self._buffers = {}           # (port, lane) -> deque of packets
         self._head_since = {}        # (port, lane) -> time current head stalled
@@ -238,13 +274,21 @@ class Router:
         self._reserved[(port, lane)] = max(
             0, self._reserved[(port, lane)] - 1)
 
-    def _note_drop(self, reason, packet):
+    def _note_drop(self, reason, packet, lineage=None):
         """Emit a telemetry event for a dropped packet (stats already
-        incremented by the caller)."""
+        incremented by the caller).  ``lineage`` is the (root, inject eid)
+        of the component fault responsible, merged into the causal edge."""
         tr = self.trace
         if tr is not None:
-            tr.emit("pkt", "drop", node=self.router_id, reason=reason,
-                    kind=str(packet.kind), src=packet.src, dst=packet.dst)
+            root, cause = packet.root_cause, packet.cause_eid
+            if lineage is not None:
+                if root is None:
+                    root = lineage[0]
+                cause = merge_causes(cause, lineage[1])
+            tr.emit("pkt", "drop", node=self.router_id, cause=cause,
+                    reason=reason, kind=str(packet.kind), src=packet.src,
+                    dst=packet.dst, lane=packet.lane.name, uid=packet.uid,
+                    root=root, line=_payload_line(packet))
 
     def receive(self, packet, port, lane):
         """A transfer completed: enqueue the packet at an input buffer."""
@@ -252,7 +296,7 @@ class Router:
             0, self._reserved[(port, lane)] - 1)
         if self.failed:
             self.stats.dropped_failed += 1
-            self._note_drop("failed_router", packet)
+            self._note_drop("failed_router", packet, self.fault_lineage)
             return
         if packet.is_source_routed:
             packet.trace_ports.append(port)
@@ -269,6 +313,7 @@ class Router:
         """Node controller pushes a packet into the router's local port."""
         if self.failed:
             self.stats.dropped_failed += 1
+            self._note_drop("failed_router", packet, self.fault_lineage)
             return True
         key = (LOCAL_PORT, packet.lane)
         if (len(self._buffers[key]) + self._reserved[key]
@@ -410,13 +455,13 @@ class Router:
         if link.failed:
             # Black hole: the packet is sunk (paper §4.1).
             self.stats.dropped_link += 1
-            self._note_drop("failed_link", packet)
+            self._note_drop("failed_link", packet, link.fault_lineage)
             return "moved"
 
         if link.should_drop(packet):
             # Intermittent link fault: the packet is sunk mid-crossing.
             self.stats.dropped_intermittent += 1
-            self._note_drop("intermittent", packet)
+            self._note_drop("intermittent", packet, link.fault_lineage)
             return "moved"
 
         downstream, downstream_port = link.other_side(self.router_id)
@@ -472,6 +517,8 @@ class Router:
                      "echo": probe.payload},
             flits=2,
             source_route=list(reversed(probe.trace_ports)))
+        reply.root_cause = probe.root_cause
+        reply.cause_eid = probe.cause_eid
         self._inject_reply(reply)
 
     def _apply_control(self, packet):
@@ -489,6 +536,8 @@ class Router:
                      "ctrl_key": payload.get("ctrl_key")},
             flits=2,
             source_route=list(reversed(packet.trace_ports)))
+        ack.root_cause = packet.root_cause
+        ack.cause_eid = packet.cause_eid
         self._inject_reply(ack)
 
     def _inject_reply(self, reply):
@@ -504,11 +553,13 @@ class Router:
 
     # -- failure & reconfiguration ------------------------------------------------------
 
-    def fail(self):
+    def fail(self, lineage=None):
         """Router failure: lose all buffered packets, sink all arrivals."""
         if self.failed:
             return
         self.failed = True
+        if lineage is not None:
+            self.fault_lineage = lineage
         lost = 0
         for buffer in self._buffers.values():
             self.stats.dropped_failed += len(buffer)
@@ -517,7 +568,9 @@ class Router:
         tr = self.trace
         if tr is not None:
             tr.emit("pkt", "drop", node=self.router_id,
-                    reason="router_fail", count=lost)
+                    cause=None if lineage is None else lineage[1],
+                    reason="router_fail", count=lost,
+                    root=None if lineage is None else lineage[0])
 
     def set_discard_ports(self, ports):
         self.discard_ports = set(ports)

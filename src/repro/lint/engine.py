@@ -20,12 +20,13 @@ from repro.lint.core import (
 from repro.lint.determinism import DeterminismChecker
 from repro.lint.hygiene import HygieneChecker
 from repro.lint.protocol import ProtocolChecker
-from repro.lint.telemetry import TelemetryGuardChecker
+from repro.lint.telemetry import TelemetryCauseChecker, TelemetryGuardChecker
 
 
 def default_checkers():
     return [DeterminismChecker(), ProtocolChecker(),
-            TelemetryGuardChecker(), HygieneChecker()]
+            TelemetryGuardChecker(), TelemetryCauseChecker(),
+            HygieneChecker()]
 
 
 def all_rules(checkers=None):

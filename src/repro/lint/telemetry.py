@@ -117,3 +117,44 @@ class TelemetryGuardChecker(Checker):
                 "check, nothing more (DESIGN.md §9)"
                 % ("trace emission" if kind == "trace"
                    else "metrics instrument", chain, chain)))
+
+
+#: packet-handling zones whose emissions must carry causal provenance
+CAUSE_ZONES = ("interconnect/", "coherence/", "node/magic.py")
+
+
+class TelemetryCauseChecker(Checker):
+    """Causal-provenance rule (DESIGN.md §11): packet-handling emissions
+    must pass ``cause=``.
+
+    Forensics reconstructs the blast-radius DAG from ``cause`` edges.  An
+    emission without one in the interconnect, the coherence protocol or the
+    MAGIC handler code is an invisible hop: the DAG silently loses the
+    propagation path through it, and a containment audit can then report
+    "contained" on a trace that merely went dark.  ``cause=None`` is fine —
+    it states "this event has no causal parent" explicitly; *omitting* the
+    keyword is what the rule rejects.
+    """
+
+    rules = {"telemetry-cause": Severity.ERROR}
+
+    zones = CAUSE_ZONES
+
+    def check_module(self, module):
+        if not module.in_zone(self.zones):
+            return ()
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain, kind = _receiver(node)
+            if kind != "trace":
+                continue
+            if any(keyword.arg == "cause" for keyword in node.keywords):
+                continue
+            findings.append(self.finding(
+                "telemetry-cause", module, node.lineno,
+                "trace emission on %r in packet-handling code does not "
+                "pass 'cause=': the forensic DAG (DESIGN.md §11) loses the "
+                "causal path through this hop" % chain))
+        return findings

@@ -34,7 +34,11 @@ from repro.common.types import AccessKind, BusErrorKind, DirState, Lane
 from repro.coherence.directory import Directory
 from repro.coherence.messages import MessageKind, make_packet
 from repro.coherence.protocol import ProtocolEngine
-from repro.interconnect.packet import ROUTER_CTRL_ACK, ROUTER_PROBE_REPLY
+from repro.interconnect.packet import (
+    ROUTER_CTRL_ACK,
+    ROUTER_PROBE_REPLY,
+    merge_causes,
+)
 from repro.node.iodevice import IODevice
 from repro.node.memory import NodeMemory, initial_value
 from repro.sim import AnyOf, Channel, Event
@@ -146,6 +150,20 @@ class Magic:
         self.metrics = None         # live metrics registry (None: disabled)
         self._proc = None
 
+        # Causal context (forensics, DESIGN.md §11).  ``_cause``/
+        # ``_cause_root`` hold the lineage of the packet currently being
+        # handled, so messages the handler fans out inherit provenance.
+        # ``fault_lineage`` is set by the injector when this controller
+        # itself is the fault; ``recovery_cause`` points at the current
+        # episode.begin while this node runs recovery.  All pure data —
+        # with telemetry off these stay None and nothing reads them on the
+        # hot path beyond plain attribute loads.
+        self._cause = None
+        self._cause_root = None
+        self.fault_lineage = None
+        self.recovery_cause = None
+        self.last_trigger_cause = None
+
     # ------------------------------------------------------------------ wiring
 
     def start(self):
@@ -180,7 +198,11 @@ class Magic:
                 return
             packet = self.ni.try_receive()
             if packet is not None:
+                self._cause = packet.cause_eid
+                self._cause_root = packet.root_cause
                 cost = self._handle_network(packet)
+                self._cause = None
+                self._cause_root = None
                 self.stats.handlers_run += 1
                 yield cost
                 continue
@@ -198,13 +220,16 @@ class Magic:
         if packet.truncated:
             # A truncated packet proves a hardware fault occurred (§4.2).
             self.stats.truncated_received += 1
+            detect_eid = None
             tr = self.trace
             if tr is not None:
-                tr.emit("detect", "truncated", node=self.node_id,
-                        kind=str(packet.kind), src=packet.src)
+                detect_eid = tr.emit("detect", "truncated",
+                                     node=self.node_id, cause=self._cause,
+                                     kind=str(packet.kind), src=packet.src,
+                                     root=self._cause_root)
             self._fail_pending_access_with(
                 BusErrorKind.TRUNCATED_DATA, packet)
-            self.trigger_recovery("truncated_packet")
+            self.trigger_recovery("truncated_packet", cause=detect_eid)
             return self.params.short_handler_time
 
         kind = packet.kind
@@ -231,7 +256,7 @@ class Magic:
 
     def _handle_recovery_packet(self, packet):
         if packet.kind == MessageKind.PING and not self.in_recovery:
-            self.trigger_recovery("ping")
+            self.trigger_recovery("ping", cause=self._cause)
         self.recovery_inbox.put(packet)
         return self.params.short_handler_time
 
@@ -361,11 +386,23 @@ class Magic:
         if pending.nak_count >= self.params.nak_counter_limit:
             # NAK counter overflow: likely deadlock after a fault (§4.2).
             self.stats.nak_overflows += 1
+            detect_eid = None
             tr = self.trace
             if tr is not None:
-                tr.emit("detect", "nak_overflow", node=self.node_id,
-                        line=pending.line, naks=pending.nak_count)
-            self.trigger_recovery("nak_overflow")
+                # The overflow itself descends from the NAK being handled;
+                # the silent component that wedged the line is attributed
+                # via the network's best-effort heuristic.
+                root, cause = self._cause_root, self._cause
+                lineage = self.network.fault_lineage_of(pending.dst)
+                if lineage is not None:
+                    if root is None:
+                        root = lineage[0]
+                    cause = merge_causes(cause, lineage[1])
+                detect_eid = tr.emit("detect", "nak_overflow",
+                                     node=self.node_id, cause=cause,
+                                     line=pending.line,
+                                     naks=pending.nak_count, root=root)
+            self.trigger_recovery("nak_overflow", cause=detect_eid)
             return self.params.short_handler_time
         self.sim.schedule(
             self.params.nak_retry_interval, self._retry, pending)
@@ -457,6 +494,7 @@ class Magic:
             # Local home: hand straight to the protocol engine.
             packet = make_packet(self.params, self.node_id, self.node_id,
                                  pending.kind, dict(pending.request_payload))
+            packet.root_cause, packet.cause_eid = self.current_lineage()
             self.ni.inbox.put(packet)
             return
         self.send_message(pending.dst, pending.kind,
@@ -467,11 +505,18 @@ class Magic:
             return
         # Memory operation timeout: the home or the path to it failed (§4.2).
         self.stats.timeouts += 1
+        detect_eid = None
         tr = self.trace
         if tr is not None:
-            tr.emit("detect", "timeout", node=self.node_id,
-                    line=pending.line, dst=pending.dst)
-        self.trigger_recovery("memory_op_timeout")
+            # A timeout observes nothing (§4.2) — attribute it to the
+            # target's recorded fault, or the latest injection (heuristic).
+            lineage = self.network.fault_lineage_of(pending.dst)
+            detect_eid = tr.emit(
+                "detect", "timeout", node=self.node_id,
+                cause=None if lineage is None else lineage[1],
+                line=pending.line, dst=pending.dst,
+                root=None if lineage is None else lineage[0])
+        self.trigger_recovery("memory_op_timeout", cause=detect_eid)
 
     def _finish_outstanding(self, key):
         pending = self.outstanding.pop(key, None)
@@ -616,8 +661,26 @@ class Magic:
 
     # ----------------------------------------------------------------- sending
 
+    def current_lineage(self):
+        """(root id, parent eid) stamped onto the next outgoing packet.
+
+        Priority: a fault injected into this controller (everything a rogue
+        firmware sends is tainted, §3.3) > the packet currently being
+        handled (fan-out inherits provenance) > the recovery episode this
+        node is participating in.
+        """
+        lineage = self.fault_lineage
+        if lineage is not None:
+            return lineage
+        if self._cause is not None or self._cause_root is not None:
+            return (self._cause_root, self._cause)
+        lineage = self.recovery_cause
+        if lineage is not None:
+            return lineage
+        return _NO_LINEAGE
+
     def send_message(self, dst, kind, payload, lane=None, source_route=None,
-                     delay=0.0):
+                     delay=0.0, lineage=None):
         """Send a protocol or recovery message; honors the node map.
 
         ``delay`` models handler work that happens *before* the reply
@@ -626,13 +689,18 @@ class Magic:
         """
         if self.failed:
             return
+        if lineage is None:
+            lineage = self.current_lineage()
         if delay:
+            # Capture the causal context now; the handler that justified
+            # the delayed send is long gone when the packet leaves.
             self.sim.schedule(delay, self.send_message, dst, kind, payload,
-                              lane, source_route)
+                              lane, source_route, 0.0, lineage)
             return
         if dst == self.node_id and source_route is None:
             packet = make_packet(self.params, self.node_id, dst, kind,
                                  payload, lane=lane)
+            packet.root_cause, packet.cause_eid = lineage
             self.ni.inbox.put(packet)
             return
         if (lane is None and dst is not None and dst not in self.node_map):
@@ -640,6 +708,7 @@ class Magic:
             return
         packet = make_packet(self.params, self.node_id, dst, kind, payload,
                              lane=lane, source_route=source_route)
+        packet.root_cause, packet.cause_eid = lineage
         self.ni.send(packet)
 
     def send_recovery(self, dst, kind, payload, source_route,
@@ -650,12 +719,17 @@ class Magic:
 
     # -------------------------------------------------------- failure detection
 
-    def trigger_recovery(self, reason):
+    def trigger_recovery(self, reason, cause=None):
         if self.failed or self.suppress_detection:
             return
+        trig_eid = None
         tr = self.trace
         if tr is not None:
-            tr.emit("recovery", "trigger", node=self.node_id, reason=reason)
+            trig_eid = tr.emit("recovery", "trigger", node=self.node_id,
+                               cause=cause, reason=reason)
+        # Side-channel for the manager (the callback signature is part of
+        # the public API and stays (node_id, reason)).
+        self.last_trigger_cause = trig_eid
         self.hooks.on_recovery_triggered(self.node_id, reason)
         if self.recovery_trigger is not None:
             self.recovery_trigger(self.node_id, reason)
@@ -665,7 +739,7 @@ class Magic:
         if condition:
             return True
         self.stats.assertion_failures += 1
-        self.trigger_recovery("assertion:%s" % message)
+        self.trigger_recovery("assertion:%s" % message, cause=self._cause)
         return False
 
     def _fail_pending_access_with(self, error_kind, packet):
@@ -709,6 +783,7 @@ class Magic:
         self.in_recovery = False
         self.drain_mode = False
         self.suppress_detection = False
+        self.recovery_cause = None
 
     def flush_caches_home(self):
         """Recovery P4: flush the processor cache, sending dirty lines home.
@@ -823,6 +898,9 @@ class Magic:
         if self._proc is not None:
             self._proc.kill()
 
+
+#: "no causal context" sentinel unpacked onto outgoing packets
+_NO_LINEAGE = (None, None)
 
 _RECOVERY_KINDS = frozenset({
     MessageKind.PING, MessageKind.PING_REPLY, MessageKind.DISSEMINATE,

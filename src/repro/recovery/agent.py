@@ -189,7 +189,8 @@ class RecoveryAgent:
 
             tr = self.manager.trace
             if tr is not None:
-                tr.emit("round", "done", node=self.node_id, round=round_no,
+                tr.emit("round", "done", node=self.node_id,
+                        cause=self.manager.episode_cause, round=round_no,
                         epoch=self.epoch, changed=changed,
                         entries=self.view.entry_count())
             if not changed and rounds_target is None:

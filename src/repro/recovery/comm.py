@@ -62,6 +62,7 @@ class RecoveryComm:
             src=self.node_id, dst=None, lane=lane, kind=kind,
             payload=body, flits=self._flits_of(body),
             source_route=source_route)
+        packet.root_cause, packet.cause_eid = self.magic.current_lineage()
         self.magic.ni.send(packet)
 
     def _flits_of(self, payload):
@@ -143,6 +144,7 @@ class RecoveryComm:
                 kind=ROUTER_PROBE, payload={"epoch": self.epoch},
                 flits=2, source_route=list(source_route))
             uid = probe.uid
+            probe.root_cause, probe.cause_eid = self.magic.current_lineage()
             self.magic.ni.send(probe)
             deadline = self.sim.now + self.params.probe_timeout
 
@@ -205,6 +207,8 @@ class RecoveryComm:
                 src=self.node_id, dst=None, lane=Lane.RECOVERY_A,
                 kind=command, payload=dict(body), flits=4,
                 source_route=list(source_route))
+            packet.root_cause, packet.cause_eid = (
+                self.magic.current_lineage())
             self.magic.ni.send(packet)
             deadline = self.sim.now + self.params.ctrl_timeout
 
@@ -270,7 +274,9 @@ class RecoveryComm:
                       {"barrier": name, "value": reduced}, routes[child])
         tr = self.magic.trace
         if tr is not None:
-            tr.emit("barrier", "done", node=self.node_id, barrier=name,
+            rc = self.magic.recovery_cause
+            tr.emit("barrier", "done", node=self.node_id,
+                    cause=None if rc is None else rc[1], barrier=name,
                     epoch=self.epoch, value=reduced)
         return reduced
 

@@ -98,6 +98,11 @@ class RecoveryManager:
         #: the recovery algorithm itself never depends on them.
         self.phase_entry_listeners = []
         self.trace = None            # telemetry recorder (None: disabled)
+        #: eid of the current episode.begin event (forensics §11): phase,
+        #: restart, shutdown and end events hang off it, and recovery
+        #: traffic every participating MAGIC sends is stamped with it
+        self.episode_cause = None
+        self._phase_enter_eids = {}  # (node, phase, epoch) -> enter eid
         self.agents = {}             # node_id -> RecoveryAgent (this epoch)
         self.report = None
         self.reports = []
@@ -135,9 +140,10 @@ class RecoveryManager:
             self.episode_done = Event(self.sim, name="recovery.episode")
             tr = self.trace
             if tr is not None:
-                tr.emit("episode", "begin", node=node_id,
-                        trigger_node=node_id, reason=reason,
-                        epoch=self.epoch)
+                self.episode_cause = tr.emit(
+                    "episode", "begin", node=node_id,
+                    cause=node.magic.last_trigger_cause,
+                    trigger_node=node_id, reason=reason, epoch=self.epoch)
         if node_id in self.agents:
             return   # already recovering in this episode
         self._begin_node(node_id)
@@ -146,8 +152,10 @@ class RecoveryManager:
         """An agent began ``phase``; inform registered observers."""
         tr = self.trace
         if tr is not None:
-            tr.emit("phase", "enter", node=node_id, phase=phase,
-                    epoch=self.epoch)
+            eid = tr.emit("phase", "enter", node=node_id,
+                          cause=self.episode_cause, phase=phase,
+                          epoch=self.epoch)
+            self._phase_enter_eids[(node_id, phase, self.epoch)] = eid
         for listener in list(self.phase_entry_listeners):
             listener(phase, node_id)
 
@@ -155,7 +163,12 @@ class RecoveryManager:
         """An agent finished ``phase`` (telemetry only)."""
         tr = self.trace
         if tr is not None:
-            tr.emit("phase", "exit", node=node_id, phase=phase, epoch=epoch)
+            enter_eid = self._phase_enter_eids.pop(
+                (node_id, phase, epoch), None)
+            tr.emit("phase", "exit", node=node_id,
+                    cause=enter_eid if enter_eid is not None
+                    else self.episode_cause,
+                    phase=phase, epoch=epoch)
 
     def notify_phase4_entry(self):
         """First agent reached P4 (post-drain): fire the episode hook."""
@@ -168,6 +181,9 @@ class RecoveryManager:
         node = self.nodes[node_id]
         magic = node.magic
         magic.enter_recovery()
+        magic.recovery_cause = (
+            None if self.episode_cause is None
+            else (None, self.episode_cause))
         magic.set_drain_mode(True)
         magic.last_normal_delivery = self.sim.now
         event = self.recovery_done_events.get(node_id)
@@ -195,7 +211,8 @@ class RecoveryManager:
         self.report.restarts += 1
         tr = self.trace
         if tr is not None:
-            tr.emit("episode", "restart", node=node_id, reason=why,
+            tr.emit("episode", "restart", node=node_id,
+                    cause=self.episode_cause, reason=why,
                     epoch=self.epoch + 1, restarts=self.report.restarts)
         if self.report.restarts > 8:
             raise RuntimeError(
@@ -238,8 +255,8 @@ class RecoveryManager:
         self.report.shutdown_nodes.add(agent.node_id)
         tr = self.trace
         if tr is not None:
-            tr.emit("episode", "shutdown", node=agent.node_id, reason=why,
-                    epoch=self.epoch)
+            tr.emit("episode", "shutdown", node=agent.node_id,
+                    cause=self.episode_cause, reason=why, epoch=self.epoch)
         node = self.nodes[agent.node_id]
         node.fail()   # clean stop: the node no longer participates
         self._check_episode_done()
@@ -277,8 +294,8 @@ class RecoveryManager:
         self.agents = {}
         tr = self.trace
         if tr is not None:
-            tr.emit("episode", "end", epoch=self.epoch,
-                    available=len(survivors),
+            tr.emit("episode", "end", cause=self.episode_cause,
+                    epoch=self.epoch, available=len(survivors),
                     marked=report.marked_incoherent,
                     restarts=report.restarts)
         if self.episode_done is not None and not self.episode_done.triggered:

@@ -15,13 +15,22 @@ The subsystem has four layers, all disabled by default (zero-cost when off):
 * :mod:`repro.telemetry.timeline` — reconstruction of per-episode recovery
   timelines (P1..P4 spans per node, critical path) from a trace.
 * :mod:`repro.telemetry.chrome` — Chrome ``trace_event`` JSON export for
-  chrome://tracing / Perfetto.
+  chrome://tracing / Perfetto, with flow arrows along causal edges.
+* :mod:`repro.telemetry.forensics` — causal DAG reconstruction, per-fault
+  blast radii and the observational containment audit (DESIGN.md §11).
 
 :mod:`repro.telemetry.scalability` builds the paper's Section 6 style
 recovery-latency-vs-machine-size sweep on top (``repro.cli bench``).
 """
 
 from repro.telemetry.chrome import to_chrome_trace, write_chrome_trace
+from repro.telemetry.forensics import (
+    ForensicsReport,
+    analyze,
+    build_dag,
+    forensic_summary,
+    format_forensics,
+)
 from repro.telemetry.metrics import (
     MetricsRegistry,
     harvest_machine_metrics,
@@ -40,12 +49,17 @@ from repro.telemetry.trace import NULL_RECORDER, Telemetry, TraceEvent, TraceRec
 __all__ = [
     "DEFAULT_SIZES",
     "EpisodeTimeline",
+    "ForensicsReport",
     "MetricsRegistry",
     "NULL_RECORDER",
     "Telemetry",
     "TraceEvent",
     "TraceRecorder",
+    "analyze",
+    "build_dag",
     "build_timelines",
+    "forensic_summary",
+    "format_forensics",
     "harvest_machine_metrics",
     "run_scalability_sweep",
     "scalability_table",

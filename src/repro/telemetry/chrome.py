@@ -8,6 +8,9 @@ wrapped in an object):
 * everything else (fault injections, detector firings, packet drops,
   dissemination rounds, barriers) becomes thread-scoped instant ("i")
   events on the emitting node's track;
+* causal edges (``TraceEvent.cause``, forensics §11) become flow arrows:
+  an "s"/"f" pair per edge, so chrome://tracing draws the propagation
+  path from a fault injection through packets to detections and recovery;
 * timestamps are microseconds (the format's unit); the simulation's
   nanosecond clock divides by 1000.
 
@@ -31,10 +34,13 @@ def to_chrome_trace(events, label="flash machine"):
     }]
     tids = set()
     open_phases = {}          # (node, phase, epoch) -> enter time
+    positions = {}            # eid -> (ts us, tid) for flow arrows
 
     for event in events:
         tid = event.node if event.node is not None else 0
         tids.add(tid)
+        if event.eid is not None:
+            positions[event.eid] = (_us(event.time), tid)
         if event.category == "phase":
             key = (event.node, event.data.get("phase"),
                    event.data.get("epoch", 0))
@@ -57,6 +63,30 @@ def to_chrome_trace(events, label="flash machine"):
             "ts": _us(event.time), "pid": PID, "tid": tid,
             "args": {k: _jsonable(v) for k, v in event.data.items()},
         })
+
+    flow_id = 0
+    for event in events:
+        if event.eid is None or event.cause is None:
+            continue
+        child = positions.get(event.eid)
+        if child is None:
+            continue
+        cause = event.cause
+        parents = cause if isinstance(cause, tuple) else (cause,)
+        for parent_eid in parents:
+            parent = positions.get(parent_eid)
+            if parent is None:
+                continue   # parent dropped by the cap or outside the window
+            flow_id += 1
+            out.append({
+                "name": "cause", "cat": "flow", "ph": "s", "id": flow_id,
+                "ts": parent[0], "pid": PID, "tid": parent[1], "args": {},
+            })
+            out.append({
+                "name": "cause", "cat": "flow", "ph": "f", "bp": "e",
+                "id": flow_id, "ts": child[0], "pid": PID,
+                "tid": child[1], "args": {},
+            })
 
     for tid in sorted(tids):
         out.append({

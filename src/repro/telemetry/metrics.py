@@ -59,10 +59,34 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q):
+        """Estimated q-th percentile (0 < q <= 100).
+
+        Walks the cumulative bucket counts and returns the upper bound of
+        the bucket containing the target rank, clipped to the observed max
+        — accurate to within one power of two, which is all the bucketing
+        keeps.  Returns None for an empty histogram.
+        """
+        if not self.count:
+            return None
+        target = self.count * q / 100.0
+        cumulative = 0
+        for bound in sorted(self.buckets):
+            cumulative += self.buckets[bound]
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def percentiles(self):
+        return {"p50": self.percentile(50), "p95": self.percentile(95),
+                "p99": self.percentile(99)}
+
     def snapshot(self):
-        return {"count": self.count, "sum": self.total, "min": self.min,
+        snap = {"count": self.count, "sum": self.total, "min": self.min,
                 "max": self.max, "mean": self.mean,
                 "buckets": dict(sorted(self.buckets.items()))}
+        snap.update(self.percentiles())
+        return snap
 
 
 #: label used for machine-wide (not per-node) instruments
@@ -223,6 +247,15 @@ def summarize_run(machine):
         if last.total_duration is not None:
             recovery["total_ms"] = round(last.total_duration / 1e6, 6)
         recovery["available_nodes"] = len(last.available_nodes)
+        latencies = Histogram()
+        for report in manager.reports:
+            if report.total_duration is not None:
+                latencies.observe(report.total_duration)
+        if latencies.count:
+            recovery["total_ms_percentiles"] = {
+                key: round(value / 1e6, 6)
+                for key, value in latencies.percentiles().items()
+            }
 
     return {
         "sim_ns": machine.sim.now,

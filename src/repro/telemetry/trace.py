@@ -31,28 +31,47 @@ round      done                  agent dissemination loop (§4.3)
 barrier    done                  RecoveryComm combining-tree barrier (§4.4)
 fault      inject, skip          FaultInjector
 ========== ===================== ==========================================
+
+Events optionally carry a *causal edge* (DESIGN.md §11): ``emit`` accepts
+``cause=<parent eid or tuple of eids>`` and returns the new event's eid so
+callers can thread provenance through packets and handler fan-out.  The
+forensics module (:mod:`repro.telemetry.forensics`) reconstructs the
+per-fault causal DAG from those edges.
 """
 
 
 class TraceEvent:
-    """One structured event: (time ns, category, name, node, data)."""
+    """One structured event: (time ns, category, name, node, data).
 
-    __slots__ = ("time", "category", "name", "node", "data")
+    ``eid`` is the event's index in its recorder; ``cause`` is the eid of
+    the event that caused it (or a tuple of eids for merge points), forming
+    the causal DAG edges used by forensics.  Both are None for events
+    recorded without provenance.
+    """
 
-    def __init__(self, time, category, name, node, data):
+    __slots__ = ("time", "category", "name", "node", "data", "eid", "cause")
+
+    def __init__(self, time, category, name, node, data, eid=None,
+                 cause=None):
         self.time = time
         self.category = category
         self.name = name
         self.node = node
         self.data = data
+        self.eid = eid
+        self.cause = cause
 
     @property
     def key(self):
         return "%s.%s" % (self.category, self.name)
 
     def to_dict(self):
+        cause = self.cause
+        if isinstance(cause, tuple):
+            cause = list(cause)
         return {"time": self.time, "category": self.category,
-                "name": self.name, "node": self.node, "data": self.data}
+                "name": self.name, "node": self.node, "data": self.data,
+                "eid": self.eid, "cause": cause}
 
     def __repr__(self):
         return "<TraceEvent %s.%s node=%s @%.0f %r>" % (
@@ -83,15 +102,23 @@ class TraceRecorder:
     def now(self):
         return self._sim.now if self._sim is not None else 0.0
 
-    def emit(self, category, name, node=None, **data):
+    def emit(self, category, name, node=None, cause=None, **data):
+        """Record one event; returns its eid (None when not recorded).
+
+        ``cause`` is an optional causal-parent eid (or tuple of eids) as
+        returned by a previous ``emit``; forensics reconstructs the causal
+        DAG from these edges.  Events dropped by the cap return None, so
+        downstream edges simply dangle — DAG construction tolerates that.
+        """
         if not self.enabled:
-            return
-        if (self.max_events is not None
-                and len(self.events) >= self.max_events):
+            return None
+        eid = len(self.events)
+        if self.max_events is not None and eid >= self.max_events:
             self.dropped_events += 1
-            return
+            return None
         self.events.append(
-            TraceEvent(self.now, category, name, node, data))
+            TraceEvent(self.now, category, name, node, data, eid, cause))
+        return eid
 
     # ------------------------------------------------------------- queries
 
@@ -127,8 +154,8 @@ class _NullRecorder(TraceRecorder):
         super().__init__()
         self.enabled = False
 
-    def emit(self, category, name, node=None, **data):
-        return
+    def emit(self, category, name, node=None, cause=None, **data):
+        return None
 
 
 NULL_RECORDER = _NullRecorder()

@@ -82,6 +82,52 @@ class TestTraceCli:
         assert code == 0
         assert "dropped" in capsys.readouterr().out
 
+    def test_trace_single_episode_export(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "episode.json"
+        code = main(["trace", "--fault", "node_failure", "--target", "3",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                     "--episode", "0", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # Only the selected episode's timeline is printed, and the trace
+        # starts no earlier than its trigger.
+        assert printed.count("episode ") == 1
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_episode_out_of_range(self, tmp_path):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit, match="out of range"):
+            main(["trace", "--fault", "false_alarm", "--target", "0",
+                  "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                  "--episode", "5", "--out", str(tmp_path / "t.json")])
+
+
+class TestForensicsCli:
+    def test_forensics_text_report(self, capsys, tmp_path):
+        out = tmp_path / "forensics.json"
+        code = main(["forensics", "--fault", "node_failure", "--target", "3",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "containment audit: contained" in printed
+        assert "fault F0" in printed and "blast radius" in printed
+        assert out.exists()
+
+    def test_forensics_json_format(self, capsys):
+        import json
+        code = main(["forensics", "--fault", "node_failure", "--target", "3",
+                     "--nodes-count", "4", "--mem-kb", "64", "--l2-kb", "8",
+                     "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "contained"
+        assert payload["run_passed"] is True
+        (fault,) = payload["faults"]
+        assert fault["root"] == "F0" and fault["blast"]["nodes"]
+
 
 class TestBenchCli:
     def test_bench_small_sweep(self, capsys, tmp_path):

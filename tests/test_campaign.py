@@ -101,6 +101,18 @@ class TestRecords:
     def test_missing_file_is_empty(self, tmp_path):
         assert load_records(tmp_path / "absent.jsonl") == []
 
+    def test_forensics_roundtrip_and_default(self):
+        summary = {"verdict": "escape", "truncated": False,
+                   "faults": [{"root": "F0", "violations": 2}]}
+        record = RunRecord(run_index=0, seed=1, status=RunStatus.FAIL,
+                           schedule=false_alarm_schedule().to_dict(),
+                           forensics=summary)
+        decoded = RunRecord.from_dict(record.to_dict())
+        assert decoded.forensics == summary
+        bare = RunRecord.from_dict({
+            "run_index": 0, "seed": 0, "status": "pass", "schedule": {}})
+        assert bare.forensics == {}
+
 
 # --------------------------------------------------------------------- runner
 
@@ -155,6 +167,18 @@ class TestRunner:
         (record,) = summary.records
         assert record.status is RunStatus.CRASHED
         assert "Error" in record.error
+
+    def test_worker_forensics_payload_reaches_record(self):
+        import types
+        runner = CampaignRunner(schedule=false_alarm_schedule(), runs=1)
+        run = types.SimpleNamespace(run_index=0, seed=1,
+                                    schedule=false_alarm_schedule())
+        summary = {"verdict": "contained", "faults": []}
+        record = runner._record(run, {"status": "fail",
+                                      "forensics": summary})
+        assert record.forensics == summary
+        passing = runner._record(run, {"status": "pass"})
+        assert passing.forensics == {}
 
     def test_watchdog_turns_wedged_run_into_hung(self, tmp_path):
         path = tmp_path / "runs.jsonl"

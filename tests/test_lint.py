@@ -261,7 +261,8 @@ class TestTelemetryGuard:
         findings = lint_source("""
             class Router:
                 def drop(self, packet):
-                    self.trace.emit("pkt", "drop", node=self.router_id)
+                    self.trace.emit("pkt", "drop", node=self.router_id,
+                                    cause=None)
         """, rel="interconnect/router.py")
         (finding,) = findings
         assert finding.rule == "telemetry-guard"
@@ -273,7 +274,8 @@ class TestTelemetryGuard:
                 def drop(self, packet):
                     tr = self.trace
                     if tr is not None:
-                        tr.emit("pkt", "drop", node=self.router_id)
+                        tr.emit("pkt", "drop", node=self.router_id,
+                                cause=None)
         """, rel="interconnect/router.py")
         assert findings == []
 
@@ -283,7 +285,8 @@ class TestTelemetryGuard:
                 def drop(self, packet, other):
                     tr = self.trace
                     if other is not None:
-                        tr.emit("pkt", "drop", node=self.router_id)
+                        tr.emit("pkt", "drop", node=self.router_id,
+                                cause=None)
         """, rel="interconnect/router.py")
         assert rules_of(findings) == ["telemetry-guard"]
 
@@ -311,6 +314,56 @@ class TestTelemetryGuard:
                 for event in events:
                     recorder.emit(event.category, event.name)
         """, rel="telemetry/replay.py")
+        assert findings == []
+
+
+# ------------------------------------------------------------ telemetry cause
+
+class TestTelemetryCause:
+    def test_emit_without_cause_flagged_in_packet_zone(self):
+        findings = lint_source("""
+            class Router:
+                def drop(self, packet):
+                    tr = self.trace
+                    if tr is not None:
+                        tr.emit("pkt", "drop", node=self.router_id)
+        """, rel="interconnect/router.py")
+        (finding,) = findings
+        assert finding.rule == "telemetry-cause"
+        assert "cause" in finding.message
+
+    def test_explicit_cause_none_allowed(self):
+        # cause=None states "no causal parent" explicitly; only the
+        # *omission* of the keyword hides a hop from the forensic DAG.
+        findings = lint_source("""
+            class Router:
+                def drop(self, packet):
+                    tr = self.trace
+                    if tr is not None:
+                        tr.emit("pkt", "drop", node=self.router_id,
+                                cause=packet.cause_eid)
+        """, rel="interconnect/router.py")
+        assert findings == []
+
+    def test_rule_covers_magic_and_coherence(self):
+        source = """
+            class Handler:
+                def note(self, magic):
+                    tr = magic.trace
+                    if tr is not None:
+                        tr.emit("protocol", "stray", node=magic.node_id)
+        """
+        for rel in ("node/magic.py", "coherence/protocol.py"):
+            assert rules_of(lint_source(source, rel)) == ["telemetry-cause"]
+
+    def test_non_packet_zones_unaffected(self):
+        findings = lint_source("""
+            class Manager:
+                def note(self):
+                    tr = self.trace
+                    if tr is not None:
+                        tr.emit("episode", "begin", node=0)
+        """, rel="recovery/manager.py")
         assert findings == []
 
 
@@ -488,8 +541,8 @@ class TestRepoIsClean:
     def test_rule_registry_is_complete(self):
         assert set(all_rules()) == {
             "wall-clock", "unseeded-random", "unordered-iter",
-            "protocol-exhaustive", "telemetry-guard", "sim-blocking",
-            "handler-cost", "broad-except",
+            "protocol-exhaustive", "telemetry-guard", "telemetry-cause",
+            "sim-blocking", "handler-cost", "broad-except",
         }
 
     def test_src_repro_lints_clean_with_empty_baseline(self):

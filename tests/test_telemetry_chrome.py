@@ -96,3 +96,34 @@ class TestSchema:
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(
             to_chrome_trace(sample_events)))
+
+
+class TestFlowArrows:
+    def _causal_events(self):
+        return [
+            TraceEvent(1_000.0, "fault", "inject", 3, {"root": "F0"}, 0),
+            TraceEvent(2_000.0, "pkt", "send", 3, {"kind": "GETX"}, 1, 0),
+            TraceEvent(3_000.0, "pkt", "recv", 1, {"kind": "GETX"}, 2,
+                       (1, 99)),   # merged cause with one unknown parent
+        ]
+
+    def test_cause_edges_become_flow_pairs(self):
+        payload = to_chrome_trace(self._causal_events())
+        starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "f"]
+        # Two resolvable edges (0->1, 1->2); the eid-99 parent is unknown
+        # and silently skipped.
+        assert len(starts) == 2 and len(ends) == 2
+        for start, end in zip(starts, ends):
+            assert start["id"] == end["id"]
+            assert start["cat"] == end["cat"] == "flow"
+            assert end["bp"] == "e"
+            assert start["ts"] <= end["ts"]
+        # The 0->1 arrow stays on node 3's track; 1->2 crosses to node 1.
+        assert starts[0]["tid"] == 3 and ends[0]["tid"] == 3
+        assert starts[1]["tid"] == 3 and ends[1]["tid"] == 1
+
+    def test_no_cause_no_flow_events(self, sample_events):
+        payload = to_chrome_trace(sample_events)
+        assert [e for e in payload["traceEvents"]
+                if e.get("cat") == "flow"] == []

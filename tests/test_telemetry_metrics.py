@@ -50,6 +50,33 @@ class TestInstruments:
         assert snapshot["count"] == 3
         assert snapshot["buckets"] == {4: 2, 8: 1}
 
+    def test_percentile_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.percentile(50) is None
+        assert histogram.percentiles() == {"p50": None, "p95": None,
+                                           "p99": None}
+
+    def test_percentile_walks_buckets(self):
+        histogram = Histogram()
+        for value in range(1, 101):          # buckets 1, 2, 4, ... 128
+            histogram.observe(value)
+        # p50 lands in the bucket holding rank 50 (bound 64); the top
+        # percentiles land in the last bucket, clipped to the true max.
+        assert histogram.percentile(50) == 64
+        assert histogram.percentile(95) == 100
+        assert histogram.percentile(99) == 100
+
+    def test_percentile_single_observation(self):
+        histogram = Histogram()
+        histogram.observe(7)
+        assert histogram.percentiles() == {"p50": 7, "p95": 7, "p99": 7}
+
+    def test_snapshot_includes_percentiles(self):
+        histogram = Histogram()
+        histogram.observe(3)
+        snapshot = histogram.snapshot()
+        assert snapshot["p50"] == 3 and snapshot["p99"] == 3
+
 
 class TestRegistry:
     def test_same_key_returns_same_instrument(self):
@@ -105,6 +132,15 @@ class TestHarvestAndSummary:
         assert set(summary["recovery"]["phase_ms"]) >= {
             "P1", "P2", "P3", "P4"}
         assert summary["sim_events"] > 0
+
+    def test_summary_reports_recovery_percentiles(self, recovered_point):
+        summary = summarize_run(recovered_point)
+        percentiles = summary["recovery"]["total_ms_percentiles"]
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        # One episode: every percentile is that episode's (bucketed,
+        # max-clipped) latency — the exact total in ms.
+        assert percentiles["p50"] == summary["recovery"]["total_ms"]
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
 
     def test_summary_is_json_friendly(self, recovered_point):
         import json
