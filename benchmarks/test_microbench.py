@@ -1,0 +1,41 @@
+"""Smoke bench for the sim-core micro-benchmark suite (DESIGN.md §12).
+
+Runs a scaled-down version of every micro-bench, checks the payload
+shape the CI perf gate consumes, and saves the human-readable table to
+``benchmarks/results/``.  The full-size suite (and the regression gate)
+runs via ``repro.cli bench --micro`` in the perf-smoke CI job.
+"""
+
+from benchmarks.helpers import save_result
+
+from repro.telemetry.microbench import (
+    MICRO_BENCHES,
+    baseline_from_payload,
+    check_against_baseline,
+    micro_table,
+    run_micro_suite,
+)
+
+
+def test_micro_suite_smoke():
+    payload = run_micro_suite(seed=0, repeats=1, scale=0.1)
+    assert payload["benchmark"] == "simcore-micro"
+    names = [result["name"] for result in payload["results"]]
+    assert names == list(MICRO_BENCHES)
+    for result in payload["results"]:
+        assert result["events_executed"] > 0
+        assert result["events_per_sec"] is None or result["events_per_sec"] > 0
+        # Compaction keeps even the timeout-heavy heap within a small
+        # multiple of the live event population.
+        assert result["max_heap"] <= 8 * max(1, result["max_live_pending"])
+
+    # The gate passes against a baseline derived from this very run and
+    # trips against an impossible one.
+    baseline = baseline_from_payload(payload, margin=0.5)
+    assert check_against_baseline(payload, baseline) == []
+    impossible = {"events_per_sec": {
+        name: 10 ** 12 for name in MICRO_BENCHES}}
+    failures = check_against_baseline(payload, impossible)
+    assert len(failures) == len(MICRO_BENCHES)
+
+    save_result("simcore_microbench", micro_table(payload))

@@ -283,6 +283,9 @@ def cmd_bench(args):
         write_bench_json,
     )
 
+    if args.micro:
+        return _cmd_bench_micro(args)
+
     sizes = args.sizes
     if sizes is None:
         sizes = [n for n in DEFAULT_SIZES if n <= args.max_nodes]
@@ -296,14 +299,71 @@ def cmd_bench(args):
                  recovery.get("total_ms", "-"),
                  result["sim"]["wall_s"]), file=sys.stderr)
 
+    out = args.out or "BENCH_scalability.json"
     payload = run_scalability_sweep(
         sizes=sizes, fault_classes=args.faults, topology=args.topology,
         mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
         seed=args.seed, progress=progress)
-    write_bench_json(payload, args.out)
+    write_bench_json(payload, out)
     print(scalability_table(payload))
-    print("wrote %s" % args.out)
+    print("wrote %s" % out)
     return 0 if sweep_ok(payload) else 1
+
+
+def _cmd_bench_micro(args):
+    from repro.telemetry.microbench import (
+        baseline_from_payload,
+        check_against_baseline,
+        load_baseline,
+        micro_table,
+        run_micro_suite,
+    )
+    from repro.telemetry.scalability import write_bench_json
+
+    def progress(result):
+        print("  %-18s %8s events/s (heap<=%d, %d compactions)"
+              % (result["name"], result["events_per_sec"],
+                 result["max_heap"], result["compactions"]), file=sys.stderr)
+
+    out = args.out or "BENCH_simcore.json"
+    payload = run_micro_suite(seed=args.seed, repeats=args.repeats,
+                              progress=progress)
+    write_bench_json(payload, out)
+
+    if args.update_baseline:
+        if args.baseline is None:
+            raise SystemExit("--update-baseline needs --baseline PATH")
+        baseline = baseline_from_payload(payload)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("baseline: wrote %s (margin %.2f)"
+              % (args.baseline, baseline["margin"]), file=sys.stderr)
+        return 0
+
+    failures = []
+    if args.baseline is not None:
+        failures = check_against_baseline(
+            payload, load_baseline(args.baseline),
+            max_regression=args.max_regression)
+
+    if args.summary_json:
+        print(json.dumps({
+            "benchmark": payload["benchmark"],
+            "events_per_sec": payload["events_per_sec"],
+            "out": out,
+            "baseline": args.baseline,
+            "max_regression": (args.max_regression
+                               if args.baseline is not None else None),
+            "regressions": failures,
+            "ok": not failures,
+        }, sort_keys=True))
+    else:
+        print(micro_table(payload))
+        print("wrote %s" % out)
+    for failure in failures:
+        print("PERF REGRESSION: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_lint(args):
@@ -458,8 +518,9 @@ def build_parser():
 
     p_bench = sub.add_parser(
         "bench",
-        help="scalability benchmark sweep (nodes x fault classes); "
-             "writes BENCH_scalability.json")
+        help="scalability benchmark sweep (nodes x fault classes, writes "
+             "BENCH_scalability.json), or --micro for the sim-core "
+             "micro-benchmarks (writes BENCH_simcore.json)")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--sizes", type=int, nargs="+", default=None,
                          help="explicit machine sizes (default: %s)"
@@ -473,7 +534,27 @@ def build_parser():
                          choices=["mesh", "hypercube"])
     p_bench.add_argument("--mem-kb", type=int, default=64)
     p_bench.add_argument("--l2-kb", type=int, default=8)
-    p_bench.add_argument("--out", default="BENCH_scalability.json")
+    p_bench.add_argument("--out", default=None,
+                         help="output JSON (default: BENCH_scalability.json"
+                              ", or BENCH_simcore.json with --micro)")
+    p_bench.add_argument("--micro", action="store_true",
+                         help="run the sim-core micro-benchmark suite "
+                              "(timeout-heavy stream, router saturation, "
+                              "barrier storm) instead of the sweep")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="micro: runs per bench, best throughput wins")
+    p_bench.add_argument("--baseline", default=None,
+                         help="micro: committed baseline JSON to gate "
+                              "against (benchmarks/baseline_simcore.json "
+                              "in CI)")
+    p_bench.add_argument("--max-regression", type=float, default=0.30,
+                         help="micro: fail when events/sec drops more than "
+                              "this fraction below the baseline")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="micro: rewrite --baseline from this run "
+                              "instead of gating")
+    p_bench.add_argument("--summary-json", action="store_true",
+                         help="micro: one machine-readable summary line")
     p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(

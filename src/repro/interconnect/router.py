@@ -221,6 +221,7 @@ class Router:
         self.fault_lineage = None    # (root id, inject eid) when failed
 
         self._buffers = {}           # (port, lane) -> deque of packets
+        self._scan_order = ()        # buffer keys, deterministic scan order
         self._head_since = {}        # (port, lane) -> time current head stalled
         self._reserved = {}          # (port, lane) -> credits handed upstream
         self._output_busy_until = {} # port -> time
@@ -236,6 +237,7 @@ class Router:
             self._buffers[(port, lane)] = deque()
             self._reserved[(port, lane)] = 0
         self._output_busy_until[port] = 0.0
+        self._rebuild_scan_order()
 
     def attach_node(self, node_interface):
         self.node_interface = node_interface
@@ -244,6 +246,13 @@ class Router:
             self._buffers[(LOCAL_PORT, lane)] = deque()
             self._reserved[(LOCAL_PORT, lane)] = 0
         self._output_busy_until[LOCAL_PORT] = 0.0
+        self._rebuild_scan_order()
+
+    def _rebuild_scan_order(self):
+        """Buffers only appear at wiring time, so the deterministic scan
+        order is computed here instead of re-sorting on every wakeup."""
+        self._scan_order = tuple(
+            sorted(self._buffers, key=lambda k: (k[0], int(k[1]))))
 
     def start(self):
         self._proc = self.sim.spawn(
@@ -348,7 +357,7 @@ class Router:
     def _scan_once(self):
         """One pass over all input buffers, forwarding whatever can move."""
         now = self.sim.now
-        for key in sorted(self._buffers, key=lambda k: (k[0], int(k[1]))):
+        for key in self._scan_order:
             port, lane = key
             buffer = self._buffers[key]
             while buffer:

@@ -521,7 +521,10 @@ class Magic:
     def _finish_outstanding(self, key):
         pending = self.outstanding.pop(key, None)
         if pending is not None and pending.timer is not None:
+            # Dropping the handle lets the engine's lazy-deletion pass
+            # reclaim the dead heap entry without anyone re-cancelling it.
             pending.timer.cancel()
+            pending.timer = None
         return pending
 
     # ------------------------------------------------------------ uncached ops
@@ -764,17 +767,14 @@ class Magic:
         self.suppress_detection = True
         self.pi_queue.clear()   # the processor is interrupted; queued ops
                                 # will be reissued after recovery
-        for key in list(self.outstanding):
-            pending = self.outstanding[key]
-            if pending.kind in (MessageKind.UC_READ, MessageKind.UC_WRITE):
-                # Keep listening for the reply via the saved buffer.
-                if pending.timer is not None:
-                    pending.timer.cancel()
-                del self.outstanding[key]
-                continue
+        for pending in self.outstanding.values():
+            # Uncached ops keep listening for the reply via the saved
+            # buffer; cacheable ops are NAKed and reissued — either way
+            # the per-op timeout timer dies here.
             if pending.timer is not None:
                 pending.timer.cancel()
-            del self.outstanding[key]
+                pending.timer = None
+        self.outstanding.clear()
 
     def set_drain_mode(self, enabled):
         self.drain_mode = enabled
@@ -886,6 +886,7 @@ class Magic:
         for pending in self.outstanding.values():
             if pending.timer is not None:
                 pending.timer.cancel()
+                pending.timer = None
         self.outstanding.clear()
         if self.cache is not None:
             self.cache.drop_all()

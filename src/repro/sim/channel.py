@@ -28,10 +28,17 @@ class Channel:
             event.trigger(item)
         else:
             self._items.append(item)
-        for watcher in self._watchers:
-            if not watcher.triggered:
-                watcher.trigger(self)
-        self._watchers = [w for w in self._watchers if not w.triggered]
+        watchers = self._watchers
+        if watchers:
+            # Snapshot-swap delivery: every current watcher is one-shot
+            # and about to fire (or already fired elsewhere), so detach
+            # the whole batch first.  A watcher re-registering during
+            # delivery appends to the fresh list — never dropped, never
+            # double-fired — and a put with no watchers costs nothing.
+            self._watchers = []
+            for watcher in watchers:
+                if not watcher.triggered:
+                    watcher.trigger(self)
 
     def get(self):
         """Return an event that fires with the next item (FIFO order)."""

@@ -3,27 +3,57 @@
 Times are floats in nanoseconds.  Determinism is guaranteed by breaking time
 ties with a monotonically increasing sequence number, and by routing all
 randomness through the simulator-owned :class:`random.Random` instance.
+
+Cancellation uses *lazy deletion with amortized compaction*: a cancelled
+entry stays in the heap (removal from the middle of a binary heap is
+O(n)), but the simulator counts dead entries and rebuilds the heap once
+they outnumber the live ones.  The rebuild is O(live + dead) and is paid
+at most once per O(heap) cancellations, so cancels stay amortized O(1)
+while the heap the hot ``heappush``/``heappop`` path sees stays within 2x
+of the live event count.  This matters because the MAGIC model arms a
+long-deadline timeout for *every* outstanding memory operation and
+cancels it a few hundred simulated nanoseconds later — without
+compaction the heap is dominated by dead timers.
+
+Compaction preserves event order exactly: entries are totally ordered by
+``(time, seq)`` and ``heapify`` over any subset replays them identically,
+so runs are bit-identical with compaction on or off (the determinism
+directed test in ``tests/test_sim_kernel.py`` asserts this).
 """
 
-import heapq
 import itertools
 import random
+from heapq import heapify, heappop, heappush
 
 
 class ScheduledCall:
     """Handle for a scheduled callback; allows cancellation."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time, callback, args):
+    def __init__(self, sim, time, callback, args):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self):
-        """Prevent the callback from running when its time arrives."""
+        """Prevent the callback from running when its time arrives.
+
+        Idempotent, and a no-op on a call that already ran (the engine
+        marks consumed entries), so wakers and their cancellers can race
+        without skewing the simulator's dead-entry accounting.  The
+        compaction trigger is inlined here because MAGIC cancels several
+        watchdogs per completed memory op — this is a hot path.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        sim._cancelled = cancelled = sim._cancelled + 1
+        if cancelled >= sim._compact_min and cancelled * 2 > len(sim._heap):
+            sim._compact()
 
 
 class Simulator:
@@ -34,17 +64,31 @@ class Simulator:
     seed:
         Seed for the simulator-owned RNG.  All stochastic model decisions
         must draw from :attr:`rng` so that runs are reproducible.
+    compact_min_cancelled:
+        Dead-entry floor below which the heap is never compacted
+        (defaults to :attr:`COMPACT_MIN_CANCELLED`; tests override it to
+        force or forbid compaction).
     """
 
-    def __init__(self, seed=0):
+    #: default floor on dead entries before a compaction can trigger —
+    #: keeps tiny heaps from churning through pointless rebuilds
+    COMPACT_MIN_CANCELLED = 64
+
+    def __init__(self, seed=0, compact_min_cancelled=None):
         self._now = 0.0
         self._heap = []
+        self._cancelled = 0       # dead entries still sitting in the heap
+        self._compact_min = (self.COMPACT_MIN_CANCELLED
+                             if compact_min_cancelled is None
+                             else compact_min_cancelled)
         self._seq = itertools.count()
         self.rng = random.Random(seed)
         self._processes = []
         #: executed (non-cancelled) events — the telemetry bench divides
         #: this by wall time for its events/sec throughput figure
         self.events_executed = 0
+        #: heap rebuilds performed (compaction effectiveness telemetry)
+        self.compactions = 0
 
     @property
     def now(self):
@@ -55,13 +99,22 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` ns; returns a handle."""
         if delay < 0:
             raise ValueError("cannot schedule in the past (delay=%r)" % delay)
-        call = ScheduledCall(self._now + delay, callback, args)
-        heapq.heappush(self._heap, (call.time, next(self._seq), call))
+        call = ScheduledCall(self, self._now + delay, callback, args)
+        heappush(self._heap, (call.time, next(self._seq), call))
         return call
 
     def schedule_at(self, time, callback, *args):
-        """Run ``callback(*args)`` at absolute time ``time``."""
-        return self.schedule(time - self._now, callback, *args)
+        """Run ``callback(*args)`` at absolute time ``time``.
+
+        Accumulated float error can make ``time - now`` come out a hair
+        negative for a caller that computed ``time`` from ``now`` by a
+        chain of additions; such epsilon-negative delays are clamped to
+        zero rather than rejected.  Genuinely past times still raise.
+        """
+        delay = time - self._now
+        if delay < 0.0 and -delay <= 1e-9 + 1e-12 * self._now:
+            delay = 0.0
+        return self.schedule(delay, callback, *args)
 
     def spawn(self, generator, name=None):
         """Create a :class:`Process` driving ``generator``; starts at now."""
@@ -71,13 +124,30 @@ class Simulator:
         self._processes.append(proc)
         return proc
 
-    def step(self):
-        """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            time, _, call = heapq.heappop(self._heap)
+    def step(self, _until=None):
+        """Execute the next pending event.  Returns False if none remain.
+
+        With ``_until`` set, an event strictly later than it is left in
+        the heap and False is returned — this is the shared loop body of
+        both :meth:`run` modes (dead entries are popped and discarded
+        either way).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            call = head[2]
             if call.cancelled:
+                heappop(heap)
+                self._cancelled -= 1
                 continue
-            self._now = time
+            if _until is not None and head[0] > _until:
+                return False
+            heappop(heap)
+            # Mark the entry consumed so a later cancel() (the common
+            # case: a process cancelling the very timeout that woke it)
+            # is a no-op instead of a dead-entry miscount.
+            call.cancelled = True
+            self._now = head[0]
             self.events_executed += 1
             call.callback(*call.args)
             return True
@@ -85,21 +155,15 @@ class Simulator:
 
     def run(self, until=None):
         """Run until the heap is empty or the clock passes ``until``."""
+        step = self.step
         if until is None:
-            while self.step():
+            while step():
                 pass
             return self._now
-        while self._heap:
-            time, _, call = self._heap[0]
-            if time > until:
-                break
-            heapq.heappop(self._heap)
-            if call.cancelled:
-                continue
-            self._now = time
-            self.events_executed += 1
-            call.callback(*call.args)
-        self._now = max(self._now, until)
+        while step(until):
+            pass
+        if until > self._now:
+            self._now = until
         return self._now
 
     def run_until(self, predicate, check_interval=1000.0, limit=None):
@@ -117,7 +181,27 @@ class Simulator:
                     "event heap drained before predicate became true")
         return self._now
 
+    # -- lazy-deletion bookkeeping -----------------------------------------
+
+    def _compact(self):
+        """Rebuild the heap without its dead entries.
+
+        ``heapify`` over ``(time, seq, call)`` tuples reproduces exactly
+        the pop order of the unfiltered heap minus the dead entries, so
+        compaction is invisible to the simulation.
+        """
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
     @property
     def pending_events(self):
-        """Number of scheduled (possibly cancelled) events."""
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self):
+        """Raw heap length including not-yet-reclaimed cancelled entries."""
         return len(self._heap)

@@ -12,6 +12,12 @@ A process generator may yield:
 the current simulation time, cancelling whatever it was waiting for.  This is
 the simulation analog of the forced bus parity error / Cache Error exception
 MAGIC uses to pull the R10000 out of normal execution (paper §4.2).
+
+The single-waitable lanes (sleep, one event, one process join) are the
+simulator's hot path, so everything they allocate per wait is a
+``__slots__`` class — no closure cells, no per-wait dicts.  Composite
+waits (:class:`AllOf`/:class:`AnyOf`) are comparatively rare and share
+the same slotted machinery via per-index adapter callbacks.
 """
 
 
@@ -53,8 +59,10 @@ class Event:
             self._waiters.append(callback)
 
     def unsubscribe(self, callback):
-        if callback in self._waiters:
+        try:
             self._waiters.remove(callback)
+        except ValueError:
+            pass
 
 
 class Timeout:
@@ -69,6 +77,8 @@ class Timeout:
 class AllOf:
     """Wait for every event in a collection; value is the list of values."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events):
         self.events = list(events)
 
@@ -76,12 +86,100 @@ class AllOf:
 class AnyOf:
     """Wait for the first event in a collection; value is (index, value)."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events):
         self.events = list(events)
 
 
+class _Waiter:
+    """One-shot resume callback for a single event/process-join wait.
+
+    Knows its event so :meth:`detach` can unsubscribe without the process
+    carrying a closure around; ``live`` goes False on detach so a resume
+    already scheduled by ``Event.trigger`` becomes a no-op (the interrupt
+    vs. event-resume race in :meth:`Process._step`).
+    """
+
+    __slots__ = ("process", "event", "live")
+
+    def __init__(self, process, event):
+        self.process = process
+        self.event = event
+        self.live = True
+
+    def __call__(self, value):
+        process = self.process
+        if self.live and process.alive:
+            self.live = False
+            process._step(value, None)
+
+    def detach(self):
+        self.live = False
+        self.event.unsubscribe(self)
+
+
+class _AllOfWait:
+    """Join counter for an :class:`AllOf`; resumes when every slot fired."""
+
+    __slots__ = ("process", "values", "remaining", "live")
+
+    def __init__(self, process, count):
+        self.process = process
+        self.values = [None] * count
+        self.remaining = count
+        self.live = True
+
+    def fire(self, index, value):
+        if not self.live or not self.process.alive:
+            return
+        self.values[index] = value
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.live = False
+            self.process._step(self.values, None)
+
+    def detach(self):
+        self.live = False
+
+
+class _AnyOfWait:
+    """First-wins latch for an :class:`AnyOf`."""
+
+    __slots__ = ("process", "live")
+
+    def __init__(self, process):
+        self.process = process
+        self.live = True
+
+    def fire(self, index, value):
+        if self.live and self.process.alive:
+            self.live = False
+            self.process._step((index, value), None)
+
+    def detach(self):
+        self.live = False
+
+
+class _IndexedCallback:
+    """Adapter subscribing one composite-wait slot to one event."""
+
+    __slots__ = ("wait", "index")
+
+    def __init__(self, wait, index):
+        self.wait = wait
+        self.index = index
+
+    def __call__(self, value):
+        self.wait.fire(self.index, value)
+
+
 class Process:
     """Drives a generator, resuming it as its yielded waits complete."""
+
+    __slots__ = ("sim", "generator", "name", "alive", "result", "exception",
+                 "exit_event", "_pending_timeout", "_pending_wait",
+                 "_executing", "_kill_requested")
 
     def __init__(self, sim, generator, name=None):
         self.sim = sim
@@ -92,7 +190,7 @@ class Process:
         self.exception = None
         self.exit_event = Event(sim, name="%s.exit" % self.name)
         self._pending_timeout = None       # ScheduledCall handle
-        self._pending_unsubscribe = None   # callable to cancel event waits
+        self._pending_wait = None          # object with .detach()
         self._executing = False            # generator currently running
         self._kill_requested = False       # self-kill during execution
         sim.schedule(0.0, self._step, None, None)
@@ -139,19 +237,17 @@ class Process:
         if isinstance(yielded, (int, float)):
             self._pending_timeout = self.sim.schedule(
                 float(yielded), self._step, None, None)
+        elif isinstance(yielded, Event):
+            waiter = _Waiter(self, yielded)
+            yielded.subscribe(waiter)
+            self._pending_wait = waiter
         elif isinstance(yielded, Timeout):
             self._pending_timeout = self.sim.schedule(
                 yielded.delay, self._step, None, None)
-        elif isinstance(yielded, Event):
-            callback = self._make_event_callback()
-            yielded.subscribe(callback)
-            self._pending_unsubscribe = lambda: (
-                yielded.unsubscribe(callback), callback.cancel())
         elif isinstance(yielded, Process):
-            callback = self._make_event_callback()
-            yielded.exit_event.subscribe(callback)
-            self._pending_unsubscribe = lambda: (
-                yielded.exit_event.unsubscribe(callback), callback.cancel())
+            waiter = _Waiter(self, yielded.exit_event)
+            yielded.exit_event.subscribe(waiter)
+            self._pending_wait = waiter
         elif isinstance(yielded, AllOf):
             self._arm_all_of(yielded)
         elif isinstance(yielded, AnyOf):
@@ -160,64 +256,31 @@ class Process:
             raise TypeError(
                 "process %s yielded unsupported %r" % (self.name, yielded))
 
-    def _make_event_callback(self):
-        armed = {"live": True}
-
-        def callback(value):
-            if armed["live"] and self.alive:
-                armed["live"] = False
-                self._step(value, None)
-
-        def cancel():
-            armed["live"] = False
-
-        callback.cancel = cancel
-        return callback
-
     def _arm_all_of(self, all_of):
-        remaining = {"count": len(all_of.events), "live": True}
-        values = [None] * len(all_of.events)
-        if remaining["count"] == 0:
-            self.sim.schedule(0.0, self._step, values, None)
+        events = all_of.events
+        if not events:
+            self.sim.schedule(0.0, self._step, [], None)
             return
-
-        def make_callback(index):
-            def callback(value):
-                if not remaining["live"] or not self.alive:
-                    return
-                values[index] = value
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    remaining["live"] = False
-                    self._step(values, None)
-            return callback
-
-        for index, event in enumerate(all_of.events):
-            event.subscribe(make_callback(index))
-        self._pending_unsubscribe = (
-            lambda: remaining.__setitem__("live", False))
+        wait = _AllOfWait(self, len(events))
+        for index, event in enumerate(events):
+            event.subscribe(_IndexedCallback(wait, index))
+        self._pending_wait = wait
 
     def _arm_any_of(self, any_of):
-        state = {"live": True}
-
-        def make_callback(index):
-            def callback(value):
-                if state["live"] and self.alive:
-                    state["live"] = False
-                    self._step((index, value), None)
-            return callback
-
+        wait = _AnyOfWait(self)
         for index, event in enumerate(any_of.events):
-            event.subscribe(make_callback(index))
-        self._pending_unsubscribe = lambda: state.__setitem__("live", False)
+            event.subscribe(_IndexedCallback(wait, index))
+        self._pending_wait = wait
 
     def _cancel_pending_wait(self):
-        if self._pending_timeout is not None:
-            self._pending_timeout.cancel()
+        timeout = self._pending_timeout
+        if timeout is not None:
+            timeout.cancel()
             self._pending_timeout = None
-        if self._pending_unsubscribe is not None:
-            self._pending_unsubscribe()
-            self._pending_unsubscribe = None
+        wait = self._pending_wait
+        if wait is not None:
+            wait.detach()
+            self._pending_wait = None
 
     def _finish(self, result=None, exception=None, raise_unhandled=False):
         self.alive = False

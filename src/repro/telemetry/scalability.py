@@ -99,6 +99,11 @@ def run_scalability_point(num_nodes, fault_class="node_failure",
         "sim_ns": machine.sim.now,
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(events / wall_s) if wall_s > 0 else None,
+        # Live count only — cancelled-but-unreclaimed heap entries would
+        # otherwise inflate the queue-depth figure by orders of magnitude.
+        "pending_events": machine.sim.pending_events,
+        "heap_size": machine.sim.heap_size,
+        "compactions": machine.sim.compactions,
     }
     if report is not None:
         result["recovery"] = {

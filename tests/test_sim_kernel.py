@@ -377,6 +377,162 @@ def test_rng_determinism():
     assert values_1 == values_2
 
 
+def test_schedule_at_clamps_epsilon_negative_delay():
+    # A caller computing an absolute time from `now` through a chain of
+    # float additions can come out a few ulps below `now`; schedule_at
+    # must clamp that to "now" instead of raising.
+    sim = Simulator()
+    sim.schedule(0.1 + 0.2, lambda: None)   # 0.30000000000000004
+    sim.run()
+    log = []
+    target = sim.now - 1e-13
+    sim.schedule_at(target, log.append, "clamped")
+    sim.run()
+    assert log == ["clamped"]
+
+
+def test_schedule_at_rejects_genuinely_past_time():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator(compact_min_cancelled=10**9)   # compaction off
+    handles = [sim.schedule(10 + i, lambda: None) for i in range(8)]
+    for handle in handles[:5]:
+        handle.cancel()
+    assert sim.pending_events == 3
+    assert sim.heap_size == 8
+
+
+def test_cancel_storm_keeps_heap_bounded():
+    # MAGIC's per-op watchdog pattern: arm a long-deadline timer, cancel
+    # it almost immediately.  Lazy deletion alone would grow the heap to
+    # ~`ops` entries; compaction must keep it within a small multiple of
+    # the live count.
+    sim = Simulator()
+    ops = 20_000
+    peak = {"heap": 0}
+
+    def stream():
+        for _ in range(ops):
+            timer = sim.schedule(1_000_000.0, pytest.fail)
+            yield 10.0
+            timer.cancel()
+            peak["heap"] = max(peak["heap"], sim.heap_size)
+
+    sim.spawn(stream())
+    sim.run()
+    assert peak["heap"] < 256
+    assert sim.compactions > 0
+    assert sim.events_executed >= ops
+
+
+def test_cancel_after_fire_does_not_corrupt_accounting():
+    # Cancelling a call that already ran (the common waker/canceller
+    # race) must not skew the dead-entry count that drives compaction.
+    sim = Simulator()
+    handle = sim.schedule(5, lambda: None)
+    sim.run()
+    handle.cancel()
+    handle.cancel()
+    assert sim._cancelled == 0
+    assert sim.pending_events == 0
+
+
+def _compaction_workload(sim, log):
+    """Deterministic arm/cancel/sleep mix driven by the sim's own RNG."""
+
+    def worker(worker_id):
+        armed = []
+        for step_no in range(300):
+            roll = sim.rng.random()
+            if roll < 0.45:
+                armed.append(sim.schedule(
+                    50_000.0 + step_no, log.append,
+                    ("fired", worker_id, step_no)))
+            elif armed and roll < 0.85:
+                armed.pop(0).cancel()
+            yield 1.0 + (roll * 5.0)
+            log.append(("tick", worker_id, step_no, sim.now))
+
+    for worker_id in range(6):
+        sim.spawn(worker(worker_id), name="w%d" % worker_id)
+
+
+def test_compaction_preserves_event_order_bit_identically():
+    # The determinism directed test: the same seed must produce the same
+    # event trace whether the heap compacts aggressively, lazily, or
+    # never.  Compaction may only change *when* dead entries are
+    # reclaimed, never what executes or at what virtual time.
+    traces = []
+    for compact_min in (1, 64, 10**9):
+        sim = Simulator(seed=42, compact_min_cancelled=compact_min)
+        log = []
+        _compaction_workload(sim, log)
+        sim.run()
+        traces.append((log, sim.now, sim.events_executed))
+    assert traces[0][0] == traces[1][0] == traces[2][0]
+    assert traces[0][1] == traces[1][1] == traces[2][1]
+    assert traces[0][2] == traces[1][2] == traces[2][2]
+    # The aggressive config really did compact; the disabled one never.
+    aggressive = Simulator(seed=42, compact_min_cancelled=1)
+    log = []
+    _compaction_workload(aggressive, log)
+    aggressive.run()
+    assert aggressive.compactions > 0
+
+
+def test_channel_watcher_reregister_during_callback_not_dropped():
+    # A watcher that re-registers from its wakeup must see the next put
+    # exactly once (the pre-snapshot code could drop or double-fire it).
+    sim = Simulator()
+    channel = Channel(sim)
+    wakeups = []
+
+    def watcher():
+        while len(wakeups) < 3:
+            yield channel.watch()
+            wakeups.append(sim.now)
+
+    sim.spawn(watcher())
+    sim.schedule(10, channel.put, "a")
+    sim.schedule(20, channel.put, "b")
+    sim.schedule(30, channel.put, "c")
+    sim.run()
+    assert wakeups == [10.0, 20.0, 30.0]
+
+
+def test_channel_put_discards_stale_watchers():
+    # A watch event triggered out-of-band must not be re-fired by put.
+    sim = Simulator()
+    channel = Channel(sim)
+    stale = channel.watch()
+    stale.trigger("external")
+    fresh = channel.watch()
+    channel.put("item")
+    sim.run()
+    assert fresh.triggered
+    assert fresh.value is channel
+    assert channel._watchers == []
+
+
+def test_channel_many_watchers_all_fire_once():
+    sim = Simulator()
+    channel = Channel(sim)
+    fired = []
+    for index in range(5):
+        channel.watch().subscribe(
+            lambda value, index=index: fired.append(index))
+    channel.put("x")
+    sim.run()
+    assert sorted(fired) == [0, 1, 2, 3, 4]
+    assert channel._watchers == []
+
+
 def test_run_until_predicate():
     sim = Simulator()
     state = {"done": False}
