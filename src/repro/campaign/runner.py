@@ -47,56 +47,17 @@ def derive_run_seed(campaign_seed, run_index):
 
 def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
                      mem_per_node, l2_size):
-    """Subprocess entry point: run one schedule, report via the queue."""
+    """Subprocess entry point: run one schedule, report via the queue.
+
+    The run body itself lives in :mod:`repro.campaign.pool` so the
+    per-run workers here and the persistent batch workers there execute
+    byte-for-byte the same experiment.
+    """
     import warnings
     warnings.simplefilter("ignore")   # skipped-injection warnings are data
-    started = time.monotonic()
-    try:
-        from repro.core.config import MachineConfig
-        from repro.core.experiment import run_schedule_experiment
-        from repro.telemetry import Telemetry
-        from repro.telemetry.forensics import forensic_summary
-        schedule = FaultSchedule.from_dict(schedule_dict)
-        config = MachineConfig(
-            num_nodes=schedule.num_nodes, topology=schedule.topology,
-            mem_per_node=mem_per_node, l2_size=l2_size, seed=seed)
-        # Tracing is on for every campaign run (bit-identical to untraced
-        # by the §9 contract) so a FAIL verdict arrives with its forensic
-        # story attached instead of needing a re-run to diagnose.
-        telemetry = Telemetry(max_events=200_000)
-        result = run_schedule_experiment(schedule, config=config, seed=seed,
-                                         run_limit=run_limit,
-                                         telemetry=telemetry,
-                                         collect_metrics=True)
-        payload = {
-            "status": (RunStatus.PASS if result.passed
-                       else RunStatus.FAIL).value,
-            "problems": list(result.problems),
-            "restarts": result.restarts,
-            "episodes": result.episodes,
-            "elapsed_s": time.monotonic() - started,
-            "metrics": result.metrics or {},
-        }
-        if not result.passed:
-            payload["forensics"] = forensic_summary(telemetry.recorder)
-        result_queue.put(payload)
-    except (TimeoutError, RuntimeError) as exc:
-        # Simulation-limit and deadlock/heap-drain conditions: the run never
-        # reached a verdict.
-        result_queue.put({
-            "status": RunStatus.HUNG.value,
-            "error": "%s: %s" % (type(exc).__name__, exc),
-            "elapsed_s": time.monotonic() - started,
-        })
-    except BaseException:   # repro-lint: disable=broad-except — the
-        # crash-isolation boundary itself: any worker death must become a
-        # CRASHED record, not kill the campaign batch.
-        import traceback
-        result_queue.put({
-            "status": RunStatus.CRASHED.value,
-            "error": traceback.format_exc(),
-            "elapsed_s": time.monotonic() - started,
-        })
+    from repro.campaign.pool import _execute_schedule_run
+    result_queue.put(_execute_schedule_run(
+        schedule_dict, seed, run_limit, mem_per_node, l2_size))
 
 
 @dataclasses.dataclass
@@ -138,6 +99,15 @@ class CampaignSummary:
 
 
 @dataclasses.dataclass
+class _PlannedRun:
+    """The identity of a pooled run (no process of its own to track)."""
+
+    run_index: int
+    seed: int
+    schedule: FaultSchedule
+
+
+@dataclasses.dataclass
 class _ActiveRun:
     run_index: int
     seed: int
@@ -159,7 +129,8 @@ class CampaignRunner:
     def __init__(self, kind="random-multi", runs=50, campaign_seed=0,
                  num_nodes=8, topology="mesh", schedule=None, out_path=None,
                  timeout_s=300.0, run_limit=60_000_000_000, jobs=1,
-                 mem_per_node=64 << 10, l2_size=8 << 10, progress=None):
+                 mem_per_node=64 << 10, l2_size=8 << 10, progress=None,
+                 reuse_machines=False):
         self.kind = kind
         self.runs = runs
         self.campaign_seed = campaign_seed
@@ -176,6 +147,10 @@ class CampaignRunner:
         self.mem_per_node = mem_per_node
         self.l2_size = l2_size
         self.progress = progress
+        #: route runs through persistent batch workers
+        #: (:class:`repro.campaign.pool.BatchWorkerPool`) instead of one
+        #: process per run — same records, amortized startup.
+        self.reuse_machines = reuse_machines
 
     # ------------------------------------------------------------ scheduling
 
@@ -206,6 +181,9 @@ class CampaignRunner:
         pending = [index for index in range(self.runs)
                    if index not in records]
 
+        if self.reuse_machines:
+            return self._run_pooled(records, pending)
+
         active = []
         while pending or active:
             while pending and len(active) < self.jobs:
@@ -224,6 +202,37 @@ class CampaignRunner:
                     self.progress(record)
             active = still_running
 
+        ordered = [records[index] for index in sorted(records)]
+        return CampaignSummary.from_records(ordered)
+
+    def _run_pooled(self, records, pending):
+        """Pooled driving loop: persistent workers, same records out."""
+        from repro.campaign.pool import BatchWorkerPool
+        plans = {}
+        with BatchWorkerPool(jobs=self.jobs, timeout_s=self.timeout_s,
+                             run_limit=self.run_limit,
+                             mem_per_node=self.mem_per_node,
+                             l2_size=self.l2_size) as pool:
+            pending = list(pending)
+            outstanding = 0
+            while pending or outstanding:
+                while pending and pool.idle_count():
+                    run_index = pending.pop(0)
+                    seed, schedule = self.plan_run(run_index)
+                    plans[run_index] = (seed, schedule)
+                    pool.submit(run_index, schedule.to_dict(), seed)
+                    outstanding += 1
+                time.sleep(0.02)
+                for run_index, payload in pool.poll():
+                    outstanding -= 1
+                    seed, schedule = plans.pop(run_index)
+                    record = self._record(
+                        _PlannedRun(run_index, seed, schedule), payload)
+                    records[record.run_index] = record
+                    if self.out_path:
+                        append_record(self.out_path, record)
+                    if self.progress is not None:
+                        self.progress(record)
         ordered = [records[index] for index in sorted(records)]
         return CampaignSummary.from_records(ordered)
 

@@ -79,11 +79,16 @@ class FaultSchedule:
     def specs(self):
         return [entry.spec for entry in self.entries]
 
-    def excluded_targets(self):
-        """Union of targets used so far (feeds ``FaultSpec.random``)."""
+    def excluded_targets(self, topology=None):
+        """Union of targets used so far (feeds ``FaultSpec.random``).
+
+        Pass the built topology to also exclude collateral targets (links
+        adjacent to a dead router), so drawing against this set never
+        produces a fault the injector would skip as a no-op.
+        """
         used = set()
         for entry in self.entries:
-            used |= entry.spec.excluded_targets()
+            used |= entry.spec.excluded_targets(topology)
         return used
 
     def replace(self, **changes):
@@ -137,6 +142,20 @@ def valid_for_machine(schedule, num_nodes, topology=None):
     return True
 
 
+def redundant_entries(schedule):
+    """Entries whose target an earlier entry already failed (injector
+    no-ops).  Generators and the fuzz mutator must produce none: a
+    schedule entry that the injector skips is dead weight in a corpus."""
+    topo = make_topology(schedule.topology, schedule.num_nodes)
+    used = set()
+    redundant = []
+    for entry in schedule.entries:
+        if entry.spec.excluded_targets() & used:
+            redundant.append(entry)
+        used |= entry.spec.excluded_targets(topo)
+    return redundant
+
+
 # ------------------------------------------------------------------ generators
 
 def _primary_fault(rng, topology):
@@ -156,7 +175,7 @@ def fault_during_recovery(rng, num_nodes=8, topology="mesh"):
     """
     topo = make_topology(topology, num_nodes)
     first = _primary_fault(rng, topo)
-    exclude = first.excluded_targets()
+    exclude = first.excluded_targets(topo)
     if not first.is_link_fault:
         exclude = exclude | {0}   # keep one stable prober candidate
     second = FaultSpec.random(rng, topo, FaultType.NODE_FAILURE,
@@ -175,10 +194,8 @@ def correlated_link_router(rng, num_nodes=8, topology="mesh"):
     topo = make_topology(topology, num_nodes)
     router = FaultSpec.random(rng, topo, FaultType.ROUTER_FAILURE)
     # Links adjacent to the dead router are already down; pick another.
-    exclude = {frozenset((router.target, nbr))
-               for _, (nbr, _) in topo.neighbors(router.target).items()}
     link = FaultSpec.random(rng, topo, FaultType.LINK_FAILURE,
-                            exclude=exclude)
+                            exclude=router.excluded_targets(topo))
     jitter = rng.uniform(0.0, 500_000.0)
     return FaultSchedule(
         entries=(TimedFault(router, time=0.0),
@@ -214,9 +231,9 @@ def flaky_links(rng, num_nodes=8, topology="mesh"):
     transient = FaultSpec.random(rng, topo,
                                  FaultType.TRANSIENT_LINK_FAILURE)
     intermittent = FaultSpec.random(rng, topo, FaultType.INTERMITTENT_LINK,
-                                    exclude=transient.excluded_targets())
-    exclude = (transient.excluded_targets()
-               | intermittent.excluded_targets() | {0})
+                                    exclude=transient.excluded_targets(topo))
+    exclude = (transient.excluded_targets(topo)
+               | intermittent.excluded_targets(topo) | {0})
     victim = FaultSpec.random(rng, topo, FaultType.NODE_FAILURE,
                               exclude=exclude)
     return FaultSchedule(
@@ -238,7 +255,7 @@ def random_multi(rng, num_nodes=8, topology="mesh", fault_count=None):
             spec = FaultSpec.random(rng, topo, exclude=exclude)
         except ValueError:
             break   # everything usable is excluded already
-        exclude |= spec.excluded_targets()
+        exclude |= spec.excluded_targets(topo)
         entries.append(TimedFault(spec, time=rng.uniform(0.0, 2_000_000.0)))
     entries.sort(key=lambda entry: entry.time)
     return FaultSchedule(entries=tuple(entries), num_nodes=num_nodes,

@@ -209,6 +209,80 @@ def cmd_campaign(args):
     return 0 if summary.ok else 1
 
 
+def cmd_fuzz(args):
+    from repro.campaign.records import RunStatus
+    from repro.campaign.runner import run_schedule_isolated
+    from repro.fuzz.engine import FuzzEngine, format_report
+    from repro.fuzz.mutate import derive_mutant_seed, rebuild_from_lineage
+
+    if args.replay:
+        try:
+            schedule = rebuild_from_lineage(
+                args.seed, args.replay, num_nodes=args.nodes_count,
+                topology=args.topology)
+        except ValueError as exc:
+            raise SystemExit("bad --replay lineage: %s" % exc)
+        seed = derive_mutant_seed(args.seed, args.replay)
+        record = run_schedule_isolated(
+            schedule, seed, timeout_s=args.timeout,
+            mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10)
+        if args.summary_json:
+            print(json.dumps(record.to_dict(), sort_keys=True))
+        else:
+            print("replay %s" % args.replay)
+            print("  schedule: %s" % schedule)
+            print("  machine seed: %d" % seed)
+            print("  -> [%s] problems=%d" % (record.status.value,
+                                             len(record.problems)))
+            for problem in record.problems:
+                print("     !", problem)
+            if record.error:
+                print("     %s" % record.error.strip().splitlines()[-1])
+        return 0 if record.status is RunStatus.PASS else 1
+
+    out_dir = args.out or "fuzz_seed%d" % args.seed
+    import os
+    have_records = os.path.exists(os.path.join(out_dir, "records.jsonl"))
+    if have_records and not args.resume:
+        raise SystemExit(
+            "%s already holds a fuzz session; pass --resume to continue "
+            "it (or --out for a fresh directory)" % out_dir)
+
+    def progress(record):
+        new = len(record.get("new_features", ()))
+        line = "  run %3d [%s] %s" % (record["run_index"],
+                                      record["status"], record["op"])
+        if new:
+            line += " +%d coverage" % new
+        if record["status"] not in ("pass",):
+            line += " <-- %s" % record["lineage"]
+        print(line, file=sys.stderr)
+
+    engine = FuzzEngine(
+        campaign_seed=args.seed, num_nodes=args.nodes_count,
+        topology=args.topology, runs=args.runs,
+        wall_clock_s=args.wall_clock, jobs=args.jobs,
+        timeout_s=args.timeout, mem_per_node=args.mem_kb << 10,
+        l2_size=args.l2_kb << 10, out_dir=out_dir,
+        strategy=args.strategy, max_shrinks=args.max_shrinks,
+        progress=progress)
+    if args.resume:
+        done = engine.resume()
+        print("resumed: %d run(s) already recorded, %d coverage "
+              "feature(s), corpus %d"
+              % (done, len(engine.coverage), len(engine.corpus)),
+              file=sys.stderr)
+    report = engine.run()
+    if args.summary_json:
+        payload = dict(report)
+        payload["out_dir"] = out_dir
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(format_report(report))
+        print("artifacts: %s" % out_dir)
+    return 0
+
+
 def cmd_trace(args):
     from repro.telemetry import Telemetry, build_timelines, write_chrome_trace
     from repro.telemetry.timeline import format_timeline
@@ -467,6 +541,42 @@ def build_parser():
                         help="print one machine-readable JSON summary "
                              "line instead of the human report")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided schedule fuzzing: mutate fault schedules "
+             "against a live coverage map, shrink and replay findings")
+    add_common(p_fuzz)
+    p_fuzz.add_argument("--runs", type=int, default=200,
+                        help="run budget (ignored with --wall-clock)")
+    p_fuzz.add_argument("--wall-clock", type=float, default=None,
+                        metavar="SECONDS",
+                        help="budget by wall clock instead of run count")
+    p_fuzz.add_argument("--nodes-count", type=int, default=8)
+    p_fuzz.add_argument("--topology", default="mesh",
+                        choices=["mesh", "hypercube"])
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="persistent crash-isolated batch workers")
+    p_fuzz.add_argument("--timeout", type=float, default=120.0,
+                        help="per-run wall-clock watchdog in seconds")
+    p_fuzz.add_argument("--out", default=None, metavar="DIR",
+                        help="session directory (default: fuzz_seed<N>); "
+                             "holds records.jsonl, corpus.jsonl, "
+                             "failures.jsonl")
+    p_fuzz.add_argument("--resume", action="store_true",
+                        help="continue the session already in --out")
+    p_fuzz.add_argument("--replay", default=None, metavar="LINEAGE",
+                        help="rebuild one schedule from its lineage and "
+                             "run it once, bit-identically")
+    p_fuzz.add_argument("--strategy", default="coverage",
+                        choices=["coverage", "random"],
+                        help="'random' disables mutation (generator-only "
+                             "baseline for coverage comparisons)")
+    p_fuzz.add_argument("--max-shrinks", type=int, default=3,
+                        help="distinct failures to minimize at session end")
+    p_fuzz.add_argument("--summary-json", action="store_true",
+                        help="print one machine-readable JSON report line")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_trace = sub.add_parser(
         "trace",

@@ -33,7 +33,32 @@ class ProtocolEngine:
         if handler is None:
             self._note_stray(packet, "no-handler")
             return self.params.short_handler_time
+        if self.magic.metrics is not None:
+            self._note_cover(packet, kind)
         return handler(self, packet)
+
+    def _note_cover(self, packet, kind):
+        """Live directory-state x message-kind coverage counter.
+
+        Only run with a metrics registry attached (campaign/fuzz runs —
+        the dispatch loop guards the call, so untraced runs pay one
+        attribute load and identity check): the fuzzer's coverage map
+        treats each (state, kind) pair the dispatch loop exercised as one
+        feature.  ``peek`` is used so the observation never materializes
+        directory entries.
+        """
+        payload = packet.payload
+        line = payload.get("line") if isinstance(payload, dict) else None
+        directory = self.magic.directory
+        if line is None or not directory.owns(line):
+            state = "REMOTE"
+        else:
+            entry = directory.peek(line)
+            state = "UNOWNED" if entry is None else entry.state.name
+        metrics = self.magic.metrics
+        if metrics is not None:
+            metrics.counter("protocol.cover.%s.%s"
+                            % (state, kind.name)).inc()
 
     def _note_stray(self, packet, reason):
         """Record a message the protocol cannot act on.

@@ -264,7 +264,7 @@ class ScheduleResult:
 def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
                             seed=0, run_limit=60_000_000_000,
                             settle_time=2_000_000.0, telemetry=None,
-                            collect_metrics=False):
+                            collect_metrics=False, machine=None):
     """One §5.2-style validation run of a whole fault schedule.
 
     The same methodology as :func:`run_validation_experiment`, generalized
@@ -273,10 +273,19 @@ def run_schedule_experiment(schedule, config=None, fill_fraction=0.6,
     sets keeps growing), recovery episodes — including §4.1 restarts — are
     allowed to cascade, and the final full-memory check judges every line
     against the accumulated oracle state.
+
+    ``machine`` may be a not-yet-started :class:`FlashMachine` (e.g. from
+    a :class:`~repro.core.machine.MachineFactory`); the caller keeps the
+    reference, which is how the fuzz worker extracts coverage afterwards.
     """
-    config = config or MachineConfig(
-        num_nodes=schedule.num_nodes, topology=schedule.topology, seed=seed)
-    machine = FlashMachine(config, telemetry=telemetry).start()
+    if machine is None:
+        config = config or MachineConfig(
+            num_nodes=schedule.num_nodes, topology=schedule.topology,
+            seed=seed)
+        machine = FlashMachine(config, telemetry=telemetry)
+    else:
+        config = machine.config
+    machine.start()
     manager = machine.recovery_manager
     oracle = machine.oracle
 

@@ -26,11 +26,15 @@ class FlashMachine:
     """A simulated FLASH multiprocessor with fault containment."""
 
     def __init__(self, config=None, hooks=None, os_recovery_callback=None,
-                 telemetry=None):
+                 telemetry=None, topology=None):
         self.config = config or MachineConfig()
         self.params = self.config.params
         self.sim = Simulator(seed=self.config.seed)
-        self.topology = make_topology(
+        # A prebuilt topology may be shared across machines (it is pure
+        # shape: adjacency and routing ports, no run state) — the batch
+        # worker pool reuses one per (kind, num_nodes) to amortize
+        # construction over many small campaign runs.
+        self.topology = topology if topology is not None else make_topology(
             self.config.topology, self.config.num_nodes)
         self.network = Network(self.sim, self.params, self.topology)
         self.address_map = AddressMap(
@@ -166,3 +170,28 @@ class FlashMachine:
     def quiesce(self, settle_time=1_000_000.0):
         """Let in-flight traffic finish (no new programs are running)."""
         self.sim.run(until=self.sim.now + settle_time)
+
+
+class MachineFactory:
+    """Builds machines, reusing seed-independent artifacts across builds.
+
+    A campaign worker that executes many small schedules back to back
+    (the fuzz loop's typical burst) pays ``FlashMachine`` construction per
+    run.  The only construction input that is both shareable and
+    immutable is the topology — pure shape, no run state — so the factory
+    memoizes one per ``(kind, num_nodes)`` and threads it into every
+    build whose parameters match.  A directed test proves a reused-vs-
+    fresh machine produces bit-identical run records.
+    """
+
+    def __init__(self):
+        self._topologies = {}
+
+    def build(self, config, telemetry=None, hooks=None):
+        key = (config.topology, config.num_nodes)
+        topology = self._topologies.get(key)
+        if topology is None:
+            topology = make_topology(config.topology, config.num_nodes)
+            self._topologies[key] = topology
+        return FlashMachine(config, hooks=hooks, telemetry=telemetry,
+                            topology=topology)

@@ -120,11 +120,26 @@ class FaultSpec:
         """Will the target node's caches/memory be lost (ground truth)."""
         return self.fault_type in NODE_LOSS_FAULT_TYPES
 
-    def excluded_targets(self):
-        """What this fault uses up, for :meth:`random`'s ``exclude`` set."""
+    def excluded_targets(self, topology=None):
+        """What this fault uses up, for :meth:`random`'s ``exclude`` set.
+
+        With ``topology`` the set also covers *collateral* damage, so a
+        later fault drawn against it can never be a no-op at injection
+        time: a dead router takes its adjacent links down with it (the
+        injector would skip a "new" fault on such a link), and any fault
+        that destroys node state makes a later fault on that node
+        redundant.  Without ``topology`` only the direct target is
+        returned (backward-compatible).
+        """
         if self.is_link_fault:
             return {frozenset(self.target)}
-        return {self.target}
+        used = {self.target}
+        if (topology is not None
+                and self.fault_type == FaultType.ROUTER_FAILURE):
+            for _, (neighbor, _) in sorted(
+                    topology.neighbors(self.target).items()):
+                used.add(frozenset((self.target, neighbor)))
+        return used
 
     @classmethod
     def random(cls, rng, topology, fault_type=None, exclude=None):

@@ -1,0 +1,27 @@
+"""Coverage-guided fault-schedule fuzzing (DESIGN.md §13).
+
+The campaign engine samples schedules from fixed generators; this package
+closes the loop: every run's already-emitted signals (directory-state x
+message-kind counters, recovery phase edges, forensic blast-radius
+shapes, stray/absorbed counts) are hashed into a coverage map, and a
+deterministic mutator breeds the schedules that reached new coverage.
+Failures route into the existing shrinker and replay machinery.
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, schedule_fingerprint
+from repro.fuzz.coverage import CoverageMap, feature_hash, run_coverage
+from repro.fuzz.engine import FuzzEngine
+from repro.fuzz.mutate import MUTATION_OPS, mutate, rebuild_from_lineage
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "FuzzEngine",
+    "MUTATION_OPS",
+    "feature_hash",
+    "mutate",
+    "rebuild_from_lineage",
+    "run_coverage",
+    "schedule_fingerprint",
+]

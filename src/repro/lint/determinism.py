@@ -22,7 +22,7 @@ from repro.lint.core import Checker, ImportMap, Severity
 
 #: package-relative prefixes whose code runs under the event scheduler
 DETERMINISM_ZONES = ("sim/", "coherence/", "interconnect/", "recovery/",
-                     "campaign/")
+                     "campaign/", "fuzz/")
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",

@@ -132,6 +132,15 @@ class MetricsRegistry:
                 for (n, node), counter in self._counters.items()
                 if n == name and node != MACHINE}
 
+    def counter_items(self, prefix=""):
+        """Sorted ``(name, node, value)`` triples, optionally filtered by
+        a name prefix (e.g. ``"protocol.cover."`` for the fuzzer)."""
+        return sorted(
+            ((name, node, counter.value)
+             for (name, node), counter in self._counters.items()
+             if name.startswith(prefix)),
+            key=lambda item: (item[0], str(item[1])))
+
     def names(self):
         return sorted({name for name, _ in self._counters}
                       | {name for name, _ in self._gauges}

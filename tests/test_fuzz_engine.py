@@ -1,0 +1,227 @@
+"""The fuzz loop end to end: corpus, sessions, resume, replay, CLI.
+
+The slow tests here run real (small) simulations; they are sized so the
+whole module stays within a tier-1 budget while still proving the
+acceptance criteria: coverage grows past the generator seeds, sessions
+resume from JSONL, and any recorded lineage replays bit-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.records import RunStatus
+from repro.campaign.runner import run_schedule_isolated
+from repro.campaign.schedule import SCHEDULE_GENERATORS
+from repro.cli import main as cli_main
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.engine import FuzzEngine, format_report
+from repro.fuzz.mutate import (
+    derive_mutant_seed,
+    rebuild_from_lineage,
+    rng_for,
+    root_schedule,
+)
+
+
+def _entry(kind, salt, features):
+    schedule, lineage = root_schedule(0, kind, salt)
+    return CorpusEntry(lineage=lineage, schedule=schedule, seed=salt,
+                       features=features)
+
+
+class TestCorpus:
+    def test_add_dedups_by_fingerprint(self):
+        corpus = Corpus()
+        assert corpus.add(_entry("random-multi", 0, ["a"]))
+        assert not corpus.add(_entry("random-multi", 0, ["b"]))
+        assert corpus.add(_entry("random-multi", 1, ["a"]))
+        assert len(corpus) == 2
+
+    def test_select_parent_prefers_rare_features(self):
+        corpus = Corpus()
+        corpus.add(_entry("random-multi", 0, ["common"]))
+        corpus.add(_entry("random-multi", 1, ["rare"]))
+        coverage = CoverageMap()
+        for _ in range(50):
+            coverage.add(["common"])
+        coverage.add(["rare"])
+        rng = rng_for(0, "test-selection")
+        picks = [corpus.select_parent(rng, coverage).lineage
+                 for _ in range(200)]
+        rare_lineage = corpus.entries[1].lineage
+        assert picks.count(rare_lineage) > 100
+
+    def test_select_donor_excludes_parent(self):
+        corpus = Corpus()
+        corpus.add(_entry("random-multi", 0, []))
+        parent = corpus.entries[0]
+        rng = rng_for(0, "donor")
+        assert corpus.select_donor(rng, parent) is None
+        corpus.add(_entry("flaky-links", 1, []))
+        for _ in range(10):
+            donor = corpus.select_donor(rng, parent)
+            assert donor.fingerprint != parent.fingerprint
+
+    def test_jsonl_round_trip_tolerates_torn_line(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        corpus = Corpus()
+        for salt in range(3):
+            entry = _entry("random-multi", salt, ["f%d" % salt])
+            corpus.add(entry)
+            corpus.append_to(path, entry)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"lineage": "g:torn')   # killed mid-append
+        loaded = Corpus.load(path)
+        assert len(loaded) == 3
+        assert [e.to_dict() for e in loaded.entries] \
+            == [e.to_dict() for e in corpus.entries]
+
+
+class TestFuzzSession:
+    """One tiny real session, shared across the assertions below."""
+
+    RUNS = 8
+
+    @classmethod
+    def setup_class(cls):
+        cls.out = None   # set via the fixture below
+
+    @pytest.fixture(autouse=True, scope="class")
+    def session(self, request, tmp_path_factory):
+        out = tmp_path_factory.mktemp("fuzz")
+        engine = FuzzEngine(campaign_seed=0, runs=self.RUNS, jobs=2,
+                            out_dir=str(out), max_shrinks=1,
+                            shrink_checks=10)
+        report = engine.run()
+        request.cls.out = out
+        request.cls.engine = engine
+        request.cls.report = report
+
+    def test_all_runs_recorded(self):
+        assert self.report["stats"]["runs"] == self.RUNS
+        with open(self.out / "records.jsonl", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert sorted(r["run_index"] for r in records) \
+            == list(range(self.RUNS))
+
+    def test_coverage_grows_past_the_seed_corpus(self):
+        """Acceptance criterion: the generators alone seed the corpus;
+        fuzzing must reach coverage beyond run 0's features."""
+        assert self.report["coverage_features"] > 0
+        growth = self.report["growth"]
+        assert growth[-1][1] > growth[0][1]
+        assert self.report["corpus_size"] >= 1
+
+    def test_seed_runs_cover_every_generator(self):
+        with open(self.out / "records.jsonl", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        seeds = [r for r in records if r["op"] == "seed"
+                 and r["run_index"] < len(SCHEDULE_GENERATORS)]
+        kinds = {r["lineage"].split(":")[1] for r in seeds}
+        assert kinds == set(SCHEDULE_GENERATORS)
+
+    def test_every_recorded_lineage_rebuilds_its_schedule(self):
+        with open(self.out / "records.jsonl", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        for record in records:
+            rebuilt = rebuild_from_lineage(0, record["lineage"])
+            assert rebuilt.to_dict() == record["schedule"], \
+                record["lineage"]
+
+    def test_recorded_run_replays_bit_identically(self):
+        with open(self.out / "records.jsonl", encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        schedule = rebuild_from_lineage(0, record["lineage"])
+        seed = derive_mutant_seed(0, record["lineage"])
+        assert seed == record["seed"]
+
+        def replay():
+            data = run_schedule_isolated(schedule, seed,
+                                         timeout_s=120.0).to_dict()
+            data.pop("elapsed_s")
+            return data
+
+        first, second = replay(), replay()
+        assert first == second
+        assert first["status"] == record["status"]
+
+    def test_resume_continues_at_next_index(self):
+        resumed = FuzzEngine(campaign_seed=0, runs=self.RUNS,
+                             out_dir=str(self.out))
+        assert resumed.resume() == self.RUNS
+        assert len(resumed.coverage) == self.report["coverage_features"]
+        assert len(resumed.corpus) == self.report["corpus_size"]
+        assert resumed._next_index == self.RUNS
+        # A resumed session with a larger budget plans fresh indices.
+        resumed.runs = self.RUNS + 1
+        schedule, lineage, _op = resumed._plan_next(self.RUNS)
+        assert lineage   # planning works off the reloaded corpus
+
+    def test_report_formats(self):
+        text = format_report(self.report)
+        assert "coverage:" in text
+        assert "%d runs" % self.RUNS in text
+
+
+class TestStrategies:
+    def test_random_strategy_plans_only_roots(self):
+        engine = FuzzEngine(campaign_seed=0, runs=20, strategy="random")
+        for run_index in range(12):
+            _schedule, lineage, op = engine._plan_next(run_index)
+            assert op == "seed"
+            assert lineage.startswith("g:")
+            assert "/m" not in lineage
+
+    def test_coverage_strategy_breeds_after_seeding(self):
+        engine = FuzzEngine(campaign_seed=0, runs=50)
+        # Fake a seeded state: corpus + coverage without running sims.
+        for salt, kind in enumerate(sorted(SCHEDULE_GENERATORS)):
+            entry = _entry(kind, 0, ["f|%s" % kind])
+            engine.coverage.add(entry.features)
+            engine.corpus.add(entry)
+            engine.seen_fingerprints.add(entry.fingerprint)
+        ops = set()
+        for run_index in range(len(SCHEDULE_GENERATORS), 40):
+            _schedule, _lineage, op = engine._plan_next(run_index)
+            ops.add(op)
+        assert ops - {"seed"}, "mutation ops never selected"
+
+
+class TestCli:
+    def test_fuzz_session_and_replay(self, tmp_path, capsys):
+        out = tmp_path / "session"
+        code = cli_main(["fuzz", "--runs", "5", "--seed", "0", "--jobs",
+                         "2", "--out", str(out), "--summary-json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["runs"] == 5
+        assert payload["coverage_features"] > 0
+        assert payload["out_dir"] == str(out)
+
+        # Refuses to clobber an existing session without --resume.
+        with pytest.raises(SystemExit):
+            cli_main(["fuzz", "--runs", "5", "--seed", "0",
+                      "--out", str(out)])
+
+        # Resume extends the same directory.
+        code = cli_main(["fuzz", "--runs", "6", "--seed", "0", "--out",
+                         str(out), "--resume", "--summary-json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["runs"] == 6
+
+        # Replay one recorded lineage; exit code mirrors the verdict.
+        with open(out / "records.jsonl", encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        code = cli_main(["fuzz", "--replay", record["lineage"], "--seed",
+                         "0", "--summary-json"])
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["status"] == record["status"]
+        assert (code == 0) == (record["status"]
+                               == RunStatus.PASS.value)
+
+    def test_replay_rejects_bad_lineage(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fuzz", "--replay", "not-a-lineage", "--seed", "0"])
