@@ -440,23 +440,134 @@ def _cmd_bench_micro(args):
     return 1 if failures else 0
 
 
-def cmd_lint(args):
-    from repro.lint import format_json, format_text, run_lint, write_baseline
+def _format_github(findings):
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines = []
+    for finding in findings:
+        level = ("error" if finding.severity.value == "error"
+                 else "warning")
+        message = "[%s] %s" % (finding.rule, finding.message)
+        # Workflow commands eat newlines/percent unless URL-escaped.
+        message = (message.replace("%", "%25").replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+        lines.append("::%s file=%s,line=%d::%s"
+                     % (level, finding.path, finding.line, message))
+    lines.append("%d finding(s)" % len(findings))
+    return "\n".join(lines)
 
-    findings, suppressed = run_lint(paths=args.paths or None,
-                                    baseline_path=args.baseline)
+
+def cmd_lint(args):
+    from repro.lint import (all_rules, format_json, format_text, run_lint,
+                            write_baseline)
+
     if args.update_baseline:
         if args.baseline is None:
             raise SystemExit("--update-baseline needs --baseline PATH")
+        # Regenerate from the UNFILTERED run: writing the post-baseline
+        # view would silently drop grandfathered findings that still
+        # exist, so each regeneration would shrink the baseline while
+        # the findings live on.
+        findings, _ = run_lint(paths=args.paths or None, baseline_path=None)
         write_baseline(args.baseline, findings)
         print("baseline: wrote %d finding(s) to %s"
               % (len(findings), args.baseline), file=sys.stderr)
         return 0
+    findings, suppressed = run_lint(paths=args.paths or None,
+                                    baseline_path=args.baseline)
+    if args.rule:
+        registry = all_rules()
+        unknown = sorted(set(args.rule) - set(registry) - {"syntax-error"})
+        if unknown:
+            raise SystemExit(
+                "unknown rule(s): %s (known: %s)"
+                % (", ".join(unknown), ", ".join(sorted(registry))))
+        wanted = set(args.rule)
+        findings = [f for f in findings if f.rule in wanted]
     if args.format == "json":
         print(format_json(findings, suppressed))
+    elif args.format == "github":
+        print(_format_github(findings))
     else:
         print(format_text(findings, suppressed))
     return 1 if findings else 0
+
+
+def cmd_verify_protocol(args):
+    import ast
+    import os
+
+    from repro.lint.extract import (ExtractionError, extract_protocol,
+                                    load_spec, spec_diff, write_spec)
+    from repro.verify import verify_spec
+
+    import repro.coherence.protocol as protocol_module
+
+    source_path = protocol_module.__file__
+    spec_path = os.path.join(os.path.dirname(source_path),
+                             "protocol.spec.json")
+    with open(source_path) as handle:
+        source = handle.read()
+    try:
+        model = extract_protocol(ast.parse(source), strict=True)
+    except ExtractionError as exc:
+        print("verify-protocol: extraction failed: %s" % exc,
+              file=sys.stderr)
+        return 2
+
+    if args.update_spec:
+        write_spec(spec_path, model)
+        print("verify-protocol: wrote golden spec to %s" % spec_path,
+              file=sys.stderr)
+        return 0
+
+    spec = model.to_spec()
+    drift = []
+    if os.path.exists(spec_path):
+        drift = spec_diff(load_spec(spec_path), spec)
+    else:
+        print("verify-protocol: no golden spec at %s (run with "
+              "--update-spec to bless the current AST)" % spec_path,
+              file=sys.stderr)
+
+    report = verify_spec(spec, max_states=args.max_states)
+    payload = report.to_dict()
+    payload["drift"] = drift
+    payload["spec"] = spec
+    ok = report.ok and not drift
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        del payload["spec"]
+        payload["ok"] = ok
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    kinds = len({t["kind"] for t in spec["transitions"]})
+    print("model: %d message kinds, %d transition paths"
+          % (kinds, len(spec["transitions"])))
+    for scenario in report.scenarios:
+        print("  %-26s %6d states %7d transitions %3d violation(s)"
+              % (scenario.name, scenario.states, scenario.transitions,
+                 len(scenario.violations)))
+    for violation in report.violations():
+        print("VIOLATION [%s] in %s: %s"
+              % (violation.invariant, violation.scenario,
+                 violation.description))
+        for step in violation.trace:
+            print("    %s" % step)
+    if drift:
+        print("DRIFT against %s (rerun with --update-spec after "
+              "reviewing):" % spec_path)
+        for line in drift:
+            print("    %s" % line)
+    print("verify-protocol: %s (%d states, %d transitions explored)"
+          % ("OK" if ok else "FAILED",
+             report.total_states, report.total_transitions))
+    return 0 if ok else 1
 
 
 def build_parser():
@@ -674,15 +785,38 @@ def build_parser():
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: the "
                              "installed repro package)")
-    p_lint.add_argument("--format", choices=["text", "json"],
-                        default="text")
+    p_lint.add_argument("--format", choices=["text", "json", "github"],
+                        default="text",
+                        help="github emits workflow error annotations")
     p_lint.add_argument("--baseline", default=None,
                         help="JSON baseline of grandfathered findings; "
                              "only findings not in it are reported")
     p_lint.add_argument("--update-baseline", action="store_true",
                         help="rewrite --baseline with the current "
                              "findings instead of reporting them")
+    p_lint.add_argument("--rule", action="append", default=None,
+                        metavar="RULE",
+                        help="only report findings from this rule "
+                             "(repeatable)")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify-protocol",
+        help="extract the coherence transition system from the AST and "
+             "exhaustively model-check the paper invariants")
+    p_verify.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    p_verify.add_argument("--out", default=None,
+                          help="also write the full JSON report (model, "
+                               "scenarios, violations) to this path")
+    p_verify.add_argument("--update-spec", action="store_true",
+                          help="rewrite the committed golden spec from "
+                               "the current AST instead of checking "
+                               "for drift")
+    p_verify.add_argument("--max-states", type=int, default=500000,
+                          help="abort a scenario beyond this many "
+                               "explored configurations")
+    p_verify.set_defaults(func=cmd_verify_protocol)
     return parser
 
 

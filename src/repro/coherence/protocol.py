@@ -48,7 +48,13 @@ class ProtocolEngine:
         directory entries.
         """
         payload = packet.payload
-        line = payload.get("line") if isinstance(payload, dict) else None
+        line = None
+        if isinstance(payload, dict):
+            # uncached and scrub requests address memory by "address" /
+            # "page" rather than a coherence line; any of them names the
+            # directory entry whose state the handler will consult
+            line = (payload.get("line") or payload.get("address")
+                    or payload.get("page"))
         directory = self.magic.directory
         if line is None or not directory.owns(line):
             state = "REMOTE"
@@ -238,13 +244,17 @@ class ProtocolEngine:
             return self.params.handler_time
 
         if entry.state == DirState.LOCKED:
-            # Writeback raced with a forwarded request: absorb the data and
-            # complete the pending transaction from memory.
+            # Writeback raced with a forwarded request: absorb the data
+            # but keep the lock.  Completing from memory now would
+            # re-grant the line while the stale forward could later hit
+            # a re-acquired copy and transfer ownership behind the
+            # directory's back.  The forward provably drains as a
+            # FWD_MISS (completed then from this parked copy) or an
+            # OWNERSHIP_XFER from whoever serviced it.
             magic.memory.write_line(line, value)
             entry.memory_valid = True
             magic.hooks.on_put_absorbed(magic.node_id, line)
-            self._complete_pending_from_memory(entry, line)
-            return self.params.long_handler_time
+            return self.params.handler_time
 
         if entry.state == DirState.INCOHERENT:
             # A writeback for a line already declared lost: the data is
@@ -312,6 +322,15 @@ class ProtocolEngine:
                 or entry.pending_kind != MessageKind.GETX):
             self._note_stray(packet, "ownership-xfer-without-pending-getx")
             return self.params.short_handler_time
+        if entry.memory_valid:
+            # A writeback landed while the transfer was in flight.  The
+            # forward can only have hit the old owner before any eviction
+            # of its copy, so the writeback must be from the transfer's
+            # recipient: the new owner already gave the line back.
+            entry.unlock(DirState.UNOWNED)
+            entry.sharers = set()
+            entry.owner = None
+            return self.params.short_handler_time
         requester = entry.pending_requester
         entry.unlock(DirState.EXCLUSIVE)
         entry.sharers = set()
@@ -324,9 +343,22 @@ class ProtocolEngine:
         line = packet.payload["line"]
         entry = magic.directory.peek(line)
         if entry is None or entry.state != DirState.LOCKED:
-            # The racing writeback already completed the transaction.
+            self._note_stray(packet, "fwd-miss-without-lock")
             return self.params.short_handler_time
-        entry.awaiting_put = True
+        if entry.memory_valid:
+            # An eviction's PUT travels the same owner-to-home lane as
+            # the FWD_MISS it causes, so the writeback always lands
+            # first: memory is current and the forward has provably
+            # drained -- complete the pending request from memory.
+            self._complete_pending_from_memory(entry, line)
+            return self.params.handler_time
+        # Memory is stale, so no writeback is coming: the target missed
+        # because its own exclusive grant is still in flight.  NAK the
+        # pending requester (it will retry) and release the lock; the
+        # directory's owner field is already correct.
+        requester = entry.pending_requester
+        entry.unlock(DirState.EXCLUSIVE)
+        self._reply_nak(requester, line)
         return self.params.short_handler_time
 
     # ------------------------------------------------------ remote: interventions

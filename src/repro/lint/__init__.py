@@ -22,6 +22,12 @@ handler-cost           timing model: every dispatch handler returns its
                        occupancy
 broad-except           fault containment of the *tooling*: model bugs
                        escalate except at crash-isolation boundaries
+lock-leak              extracted transition system: directory locks are
+                       never doubled and every pending kind has a release
+escape-send            §4.1 firewall: write grants are dominated by an
+                       ACL consultation
+model-drift            the AST-extracted transition system matches the
+                       blessed ``coherence/protocol.spec.json``
 =====================  ====================================================
 
 Run it as ``python -m repro.cli lint``; suppress a deliberate exception
@@ -44,14 +50,27 @@ from repro.lint.engine import (
     default_checkers,
     format_json,
     format_text,
+    golden_spec_path,
     lint_project,
     package_root,
+    repo_checkers,
     run_lint,
+)
+from repro.lint.extract import (
+    ExtractionError,
+    ProtocolModel,
+    extract_protocol,
+    load_spec,
+    spec_diff,
+    write_spec,
 )
 
 __all__ = [
-    "Checker", "Finding", "Module", "Project", "Severity",
+    "Checker", "ExtractionError", "Finding", "Module", "Project",
+    "ProtocolModel", "Severity",
     "apply_baseline", "load_baseline", "write_baseline",
-    "all_rules", "build_project", "default_checkers", "format_json",
-    "format_text", "lint_project", "package_root", "run_lint",
+    "all_rules", "build_project", "default_checkers", "extract_protocol",
+    "format_json", "format_text", "golden_spec_path", "lint_project",
+    "load_spec", "package_root", "repo_checkers", "run_lint",
+    "spec_diff", "write_spec",
 ]

@@ -1,0 +1,193 @@
+"""Lint rules over the extracted protocol transition system.
+
+These are the shallow, always-on companions of ``repro.cli
+verify-protocol``: where the model checker explores the state space, the
+rules here inspect the extracted paths *shape-wise*, so a broken
+handler fails `lint` even before the explorer runs.
+
+=============  =========================================================
+rule           invariant guarded
+=============  =========================================================
+lock-leak      a path never double-locks a directory entry, never locks
+               after unlocking, and every pending kind some handler
+               records has at least one compatible release path
+escape-send    every exclusive (write) grant in a home request handler
+               is dominated by a firewall consultation — the paper §4.1
+               containment boundary cannot be compiled out silently
+model-drift    the transition system extracted from the AST still
+               matches the committed golden spec
+               (``coherence/protocol.spec.json``); any behavioural edit
+               to the protocol must re-bless the spec
+=============  =========================================================
+"""
+
+from repro.lint.core import Checker, Severity
+from repro.lint.extract import extract_protocol, load_spec, spec_diff
+from repro.lint.protocol import PROTOCOL_MODULE
+
+#: message kinds whose send constitutes a write grant (§4.1: these carry
+#: ownership across the firewall).
+GRANT_SENDS = ("DATA_EXCL",)
+
+#: handlers that arbitrate requests at home and must consult the ACL
+#: before granting.  Remote handlers (FWD_*) forward on the home's
+#: authority and are exempt.
+FIREWALLED_KINDS = ("GETX",)
+
+_MAX_DRIFT_FINDINGS = 12
+
+
+def _atom_mentions(atom, names):
+    if not isinstance(atom, (list, tuple)) or not atom:
+        return False
+    if atom[0] in names:
+        return True
+    if atom[0] in ("and", "or"):
+        return any(_atom_mentions(part, names) for part in atom[1])
+    if atom[0] in ("not", "fw_assert"):
+        return _atom_mentions(atom[1], names)
+    return False
+
+
+def _iter_items(items):
+    for item in items:
+        yield item
+        if item[0] == "fanout":
+            for inner in item[3]:
+                yield inner
+
+
+class VerifyChecker(Checker):
+    """Transition-system rules; see the module table."""
+
+    rules = {
+        "lock-leak": Severity.ERROR,
+        "escape-send": Severity.ERROR,
+        "model-drift": Severity.ERROR,
+    }
+
+    protocol_module = PROTOCOL_MODULE
+
+    def __init__(self, spec_path=None):
+        #: golden spec to diff against; None disables the drift rule
+        #: (synthetic lint fixtures have no blessed spec).
+        self.spec_path = spec_path
+
+    def check_project(self, project):
+        module = project.module(self.protocol_module)
+        if module is None:
+            return
+        model = extract_protocol(module.tree, strict=False)
+        for issue in model.issues:
+            yield self.finding(
+                "model-drift", module, issue.lineno,
+                "%s: %s — this construct is outside the extractable "
+                "dialect, so the model checker cannot see it"
+                % (issue.handler, issue.message))
+        yield from self._check_locks(module, model)
+        yield from self._check_grants(module, model)
+        if self.spec_path:
+            yield from self._check_drift(module, model)
+
+    # ------------------------------------------------------------ lock-leak
+
+    def _check_locks(self, module, model):
+        locked_kinds = {}
+        released_kinds = set()
+        for transition in model.transitions:
+            locks = [item for item in _iter_items(transition.items)
+                     if item[0] == "lock"]
+            unlock_at = next(
+                (index for index, item in enumerate(transition.items)
+                 if item[0] == "unlock"), None)
+            if len(locks) > 1:
+                yield self.finding(
+                    "lock-leak", module, transition.lineno,
+                    "%s path %d locks the directory entry %d times"
+                    % (transition.handler, transition.index, len(locks)))
+            if locks and unlock_at is not None:
+                lock_at = next(
+                    index for index, item in enumerate(transition.items)
+                    if item[0] == "lock")
+                if lock_at > unlock_at:
+                    yield self.finding(
+                        "lock-leak", module, transition.lineno,
+                        "%s path %d re-locks the entry after releasing "
+                        "it" % (transition.handler, transition.index))
+            for item in locks:
+                locked_kinds.setdefault(_pending_kind(item[1]),
+                                        transition)
+            if unlock_at is not None:
+                released_kinds |= self._release_covers(transition)
+        for kind, transition in sorted(locked_kinds.items()):
+            if kind not in released_kinds:
+                yield self.finding(
+                    "lock-leak", module, transition.lineno,
+                    "%s records pending %s but no handler path releases "
+                    "a %s lock — lines would wedge LOCKED forever"
+                    % (transition.handler, kind, kind))
+
+    def _release_covers(self, transition):
+        """Pending kinds an unlocking path can complete: the kinds its
+        pending-kind guards pin, or every kind when it never looks."""
+        pinned = set()
+        for item in transition.items:
+            if item[0] != "guard":
+                continue
+            atom, polarity = item[1], item[2]
+            if atom[0] == "pending_kind" and polarity:
+                pinned.add(_pending_kind(atom[1]))
+            elif (atom[0] == "bind_is" and polarity
+                    and atom[2].startswith("MessageKind.")):
+                pinned.add(_pending_kind(atom[2]))
+        return pinned or {"GET", "GETX"}
+
+    # ---------------------------------------------------------- escape-send
+
+    def _check_grants(self, module, model):
+        for transition in model.transitions:
+            if transition.kind not in FIREWALLED_KINDS:
+                continue
+            grants = [item for item in _iter_items(transition.items)
+                      if item[0] == "send" and item[2] in GRANT_SENDS]
+            if not grants:
+                continue
+            consulted = any(
+                _atom_mentions(item[1],
+                               ("firewall_enabled", "firewall_allows"))
+                for item in transition.items if item[0] == "guard")
+            if not consulted:
+                yield self.finding(
+                    "escape-send", module, transition.lineno,
+                    "%s path %d grants %s without consulting the "
+                    "firewall — a failed cell could be handed ownership "
+                    "(§4.1)" % (transition.handler, transition.index,
+                                grants[0][2]))
+
+    # ---------------------------------------------------------- model-drift
+
+    def _check_drift(self, module, model):
+        try:
+            blessed = load_spec(self.spec_path)
+        except (OSError, ValueError) as error:
+            yield self.finding(
+                "model-drift", module, 1,
+                "golden spec %s is unreadable: %s"
+                % (self.spec_path, error))
+            return
+        differences = spec_diff(blessed, model.to_spec())
+        for difference in differences[:_MAX_DRIFT_FINDINGS]:
+            yield self.finding(
+                "model-drift", module, 1,
+                "extracted model differs from the golden spec: %s "
+                "(re-bless with `repro.cli verify-protocol "
+                "--update-spec` after reviewing)" % difference)
+        if len(differences) > _MAX_DRIFT_FINDINGS:
+            yield self.finding(
+                "model-drift", module, 1,
+                "... and %d further spec difference(s)"
+                % (len(differences) - _MAX_DRIFT_FINDINGS))
+
+
+def _pending_kind(value):
+    return value.rsplit(".", 1)[-1]

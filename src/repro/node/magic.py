@@ -87,7 +87,7 @@ class _Outstanding:
     """One in-flight PI request awaiting its reply."""
 
     __slots__ = ("op", "event", "kind", "line", "nak_count", "timer",
-                 "request_payload", "dst")
+                 "request_payload", "dst", "invalidated")
 
     def __init__(self, op, event, kind, line, payload, dst):
         self.op = op
@@ -98,6 +98,7 @@ class _Outstanding:
         self.timer = None
         self.request_payload = payload
         self.dst = dst
+        self.invalidated = False   # INVAL crossed the fill in flight
 
 
 class Magic:
@@ -243,6 +244,16 @@ class Magic:
                 return self.params.handler_time
             if kind in _REPLY_KINDS:
                 return self._handle_reply(packet)
+            if kind == MessageKind.INVAL and packet.payload is not None:
+                # The directory can invalidate us between the moment the
+                # old owner's SHARING_WB registered us as a sharer and the
+                # moment its DATA_SHARED actually arrives.  The fill that
+                # crosses this INVAL must not install a stale SHARED copy:
+                # poison the outstanding entry so the data completes the
+                # load once and is discarded (use-once semantics).
+                pending = self.outstanding.get(packet.payload.get("line"))
+                if pending is not None and pending.kind == MessageKind.GET:
+                    pending.invalidated = True
             return self.protocol.handle(packet)
 
         # String-kind packets are router-generated replies (probe replies,
@@ -341,6 +352,12 @@ class Magic:
 
     def _fill_and_complete(self, pending, value, exclusive):
         from repro.common.types import CacheState
+        if pending.invalidated and not exclusive:
+            # Invalidated while the fill was in flight: the load is
+            # ordered before the conflicting store, so the value may
+            # satisfy it exactly once, but the line must not be cached.
+            pending.event.trigger(("ok", value))
+            return
         state = CacheState.EXCLUSIVE if exclusive else CacheState.SHARED
         victim = self.cache.fill(pending.line, value, state)
         if victim is not None:
@@ -413,6 +430,10 @@ class Magic:
             return
         if self.outstanding.get(pending.line) is not pending:
             return
+        # A retry is a fresh request epoch: the home cannot service it
+        # until the old INVAL's ack has been consumed, so any poison
+        # from the previous epoch is stale.
+        pending.invalidated = False
         self._send_request_packet(pending)
 
     # ---------------------------------------------------------------- PI side

@@ -1,0 +1,17 @@
+"""Small-model verification of the extracted coherence protocol.
+
+:mod:`repro.verify.model` executes the transition table lifted by
+:mod:`repro.lint.extract` over abstract single-line configurations;
+:mod:`repro.verify.checker` exhaustively explores the reachable space
+and checks the paper's containment invariants (single-owner, lock
+drainability, sharer consistency, firewall escape).
+"""
+
+from repro.verify.checker import Report, ScenarioResult, Violation, verify_spec
+from repro.verify.model import (HOME, Config, ModelError, Scenario,
+                                SpecMachine, initial_config)
+
+__all__ = [
+    "HOME", "Config", "ModelError", "Report", "Scenario", "ScenarioResult",
+    "SpecMachine", "Violation", "initial_config", "verify_spec",
+]

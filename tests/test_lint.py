@@ -9,6 +9,8 @@ with an empty baseline.
 import json
 import textwrap
 
+import pytest
+
 from repro.lint import (
     Module,
     Project,
@@ -543,6 +545,7 @@ class TestRepoIsClean:
             "wall-clock", "unseeded-random", "unordered-iter",
             "protocol-exhaustive", "telemetry-guard", "telemetry-cause",
             "sim-blocking", "handler-cost", "broad-except",
+            "lock-leak", "escape-send", "model-drift",
         }
 
     def test_src_repro_lints_clean_with_empty_baseline(self):
@@ -570,3 +573,100 @@ class TestRepoIsClean:
         (entry,) = payload["findings"]
         assert entry["rule"] == "wall-clock"
         assert entry["path"] == "sim/bad.py"
+
+
+# ------------------------------------------------------------- CLI options
+
+DIRTY_SOURCE = textwrap.dedent("""
+    def first():
+        try:
+            return 1
+        except Exception:
+            return None
+
+    def second():
+        try:
+            return 2
+        except Exception:
+            return None
+""")
+
+
+def _dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_SOURCE)
+    return str(path)
+
+
+class TestCliLintOptions:
+    def test_rule_filter_keeps_only_named_rules(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _dirty_file(tmp_path)
+        assert main(["lint", path, "--format", "json",
+                     "--rule", "broad-except"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert {f["rule"] for f in payload["findings"]} == {"broad-except"}
+
+    def test_rule_filter_can_silence_everything(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _dirty_file(tmp_path)
+        assert main(["lint", path, "--format", "json",
+                     "--rule", "wall-clock"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+
+    def test_unknown_rule_is_an_error(self, tmp_path):
+        from repro.cli import main
+        path = _dirty_file(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", path, "--rule", "no-such-rule"])
+        assert "unknown rule" in str(excinfo.value)
+
+    def test_github_format_emits_annotations(self, tmp_path, capsys):
+        from repro.cli import main
+        path = _dirty_file(tmp_path)
+        assert main(["lint", path, "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("::error ")]
+        assert len(lines) == 2
+        assert all("file=" in l and "line=" in l and "[broad-except]" in l
+                   for l in lines)
+
+
+class TestCliBaselineRegeneration:
+    """--update-baseline must regenerate from the unfiltered run.
+
+    The original implementation wrote the post-baseline view, so every
+    regeneration silently dropped the grandfathered findings that still
+    existed -- the baseline shrank while the findings lived on, and the
+    next gated run went red.
+    """
+
+    def test_update_twice_keeps_grandfathered_findings(self, tmp_path,
+                                                       capsys):
+        from repro.cli import main
+        path = _dirty_file(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+
+        assert main(["lint", path, "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        first = json.loads(open(baseline).read())
+        assert len(first["findings"]) == 2
+
+        # Gated run: everything grandfathered, exit clean.
+        assert main(["lint", path, "--baseline", baseline]) == 0
+        capsys.readouterr()
+
+        # Regenerating with the baseline in place must NOT shrink it.
+        assert main(["lint", path, "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        second = json.loads(open(baseline).read())
+        assert len(second["findings"]) == 2
+        assert main(["lint", path, "--baseline", baseline]) == 0
+
+    def test_update_baseline_requires_a_path(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--update-baseline"])
+        assert "--baseline" in str(excinfo.value)

@@ -1,0 +1,184 @@
+"""Small-model checker tests: clean-tree verification plus directed
+seeded-bug experiments.
+
+The seeded bugs are the point of the tentpole: each one mutates the
+*real* protocol source in a way the syntactic lint rules cannot
+distinguish from correct code (the guard is still present, the unlock
+still exists on some other path), then asserts the exhaustive
+explorer catches the resulting invariant breach with a reproduction
+trace.
+"""
+
+import os
+
+import pytest
+
+from repro.lint import Module, Project
+from repro.lint.extract import extract_from_source
+from repro.lint.protocol import PROTOCOL_MODULE
+from repro.lint.verifyrules import VerifyChecker
+from repro.verify import verify_spec
+from repro.verify.checker import static_checks
+from repro.verify.model import _admissible_states, _may_states, _must_states
+
+PROTOCOL_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro", "coherence", "protocol.py")
+
+with open(PROTOCOL_PATH) as _handle:
+    CLEAN_SOURCE = _handle.read()
+
+
+def mutate(old, new):
+    """Apply a single-site mutation to the real protocol source."""
+    assert CLEAN_SOURCE.count(old) == 1, "mutation anchor must be unique"
+    return CLEAN_SOURCE.replace(old, new)
+
+
+def model_violations(source, max_states=200000):
+    spec = extract_from_source(source, strict=True).to_spec()
+    report = verify_spec(spec, max_states=max_states)
+    return report, {v.invariant for v in report.violations()}
+
+
+def static_findings(source):
+    """Run only the syntactic VerifyChecker rules (no golden-spec
+    drift, which would trivially fire on any mutation)."""
+    project = Project([Module(PROTOCOL_MODULE, source)])
+    checker = VerifyChecker(spec_path=None)
+    return list(checker.check_project(project))
+
+
+class TestCleanTree:
+    def test_clean_protocol_verifies_exhaustively(self):
+        report, invariants = model_violations(CLEAN_SOURCE)
+        assert report.ok, "clean tree must verify: %s" % sorted(invariants)
+        assert report.total_states > 5000, (
+            "exploration suspiciously small: %d states"
+            % report.total_states)
+        assert report.total_transitions > report.total_states
+
+    def test_clean_protocol_has_no_static_findings(self):
+        assert static_findings(CLEAN_SOURCE) == []
+
+    def test_static_checks_flag_missing_uncached_rejection(self):
+        spec = extract_from_source(CLEAN_SOURCE).to_spec()
+        assert static_checks(spec) == []
+        gutted = dict(spec)
+        gutted["transitions"] = [t for t in spec["transitions"]
+                                 if t["kind"] != "UC_WRITE"]
+        invariants = {v.invariant for v in static_checks(gutted)}
+        assert "missing-handler" in invariants
+
+
+class TestStateAlgebra:
+    """may/must guard interpretation feeding _admissible_states."""
+
+    def test_positive_state_guard(self):
+        items = [["guard", ["state", "LOCKED"], True]]
+        assert _admissible_states(items) == frozenset({"LOCKED"})
+
+    def test_negated_or_of_states(self):
+        atom = ["not", ["or", [["state", "UNOWNED"], ["state", "SHARED"]]]]
+        assert _may_states(atom) == frozenset(
+            {"EXCLUSIVE", "LOCKED", "INCOHERENT"})
+        assert _must_states(atom) == frozenset(
+            {"EXCLUSIVE", "LOCKED", "INCOHERENT"})
+
+    def test_unknown_atoms_widen_may_and_narrow_must(self):
+        atom = ["and", [["state", "LOCKED"], ["acks_remaining"]]]
+        assert _may_states(atom) == frozenset({"LOCKED"})
+        assert _must_states(atom) == frozenset()
+
+    def test_sharing_wb_main_path_reduces_to_locked(self):
+        """The SHARING_WB main path is guarded by a negated stray
+        check (``not (state is not LOCKED or ...)``); the algebra must
+        still pin it to exactly {LOCKED}."""
+        model = extract_from_source(CLEAN_SOURCE)
+        spec = model.to_spec()
+        main = [t for t in spec["transitions"]
+                if t["kind"] == "SHARING_WB"
+                and not any(i[0] == "stray" for i in t["items"])]
+        assert main, "SHARING_WB main path missing from extraction"
+        for transition in main:
+            assert _admissible_states(transition["items"]) == frozenset(
+                {"LOCKED"}), transition["path"]
+
+
+# ---------------------------------------------------------- seeded bugs
+
+LOCK_LEAK = (
+    # _home_fwd_miss stale-memory branch: drop the unlock but keep the
+    # NAK.  Syntactically a release for pending GET/GETX still exists
+    # on other paths, so the shape-based lock-leak rule stays green.
+    "        requester = entry.pending_requester\n"
+    "        entry.unlock(DirState.EXCLUSIVE)\n"
+    "        self._reply_nak(requester, line)\n",
+
+    "        requester = entry.pending_requester\n"
+    "        self._reply_nak(requester, line)\n",
+)
+
+FIREWALL_BYPASS = (
+    # _home_getx: invert the membership test so *remote* writers skip
+    # the firewall check.  The guard still mentions firewall_enabled,
+    # so the syntactic escape-send rule is satisfied.
+    "        if (magic.firewall_enabled\n"
+    "                and requester not in magic.failure_unit):",
+
+    "        if (magic.firewall_enabled\n"
+    "                and requester in magic.failure_unit):",
+)
+
+WRITEBACK_RACE = (
+    # _home_put LOCKED branch: reintroduce the original seed bug by
+    # completing the pending transaction from the freshly absorbed
+    # writeback while the forwarded intervention is still in flight.
+    "            magic.memory.write_line(line, value)\n"
+    "            entry.memory_valid = True\n"
+    "            magic.hooks.on_put_absorbed(magic.node_id, line)\n"
+    "            return self.params.handler_time\n",
+
+    "            magic.memory.write_line(line, value)\n"
+    "            entry.memory_valid = True\n"
+    "            magic.hooks.on_put_absorbed(magic.node_id, line)\n"
+    "            self._complete_pending_from_memory(entry, line)\n"
+    "            return self.params.handler_time\n",
+)
+
+
+class TestSeededLockLeak:
+    def test_model_catches_it(self):
+        report, invariants = model_violations(mutate(*LOCK_LEAK))
+        assert "lock-deadlock" in invariants
+        witness = next(v for v in report.violations()
+                       if v.invariant == "lock-deadlock")
+        assert witness.trace, "violation must carry a reproduction trace"
+
+    def test_syntactic_linter_misses_it(self):
+        findings = static_findings(mutate(*LOCK_LEAK))
+        assert [f for f in findings if f.rule == "lock-leak"] == []
+
+
+class TestSeededFirewallBypass:
+    def test_model_catches_it(self):
+        report, invariants = model_violations(mutate(*FIREWALL_BYPASS))
+        assert "escape-send" in invariants
+        witness = next(v for v in report.violations()
+                       if v.invariant == "escape-send")
+        assert witness.scenario == "failed-cell", (
+            "the bypass must manifest as a grant into the failed cell")
+
+    def test_syntactic_linter_misses_it(self):
+        findings = static_findings(mutate(*FIREWALL_BYPASS))
+        assert [f for f in findings if f.rule == "escape-send"] == []
+
+
+class TestSeededWritebackRace:
+    def test_model_catches_the_original_seed_bug(self):
+        """Regression: the race the checker originally found must stay
+        findable if anyone reintroduces the eager completion."""
+        report, invariants = model_violations(mutate(*WRITEBACK_RACE))
+        assert not report.ok
+        assert invariants & {"single-owner", "lock-bookkeeping",
+                             "sharer-vector"}, sorted(invariants)
