@@ -36,16 +36,42 @@ import time
 
 from repro.campaign.records import RunStatus
 
+#: flight-ring capacity for ``telemetry_mode="flight"`` workers — deep
+#: enough to hold a recovery episode's tail, cheap enough to be always-on
+FLIGHT_CAPACITY = 20_000
+
+#: newest events a dumped flight window keeps in the run record (the full
+#: ring still feeds in-process forensics; the record stays one JSONL line)
+FLIGHT_DUMP_EVENTS = 2_000
+
+#: stray protocol messages after which a flight worker dumps its window
+#: even on a PASS verdict — a stray storm is evidence worth keeping
+STRAY_DUMP_THRESHOLD = 5
+
+
+def _attach_flight(payload, telemetry):
+    """Attach the flight recorder's tail window to a worker payload."""
+    recorder = None if telemetry is None else telemetry.recorder
+    if recorder is not None and hasattr(recorder, "dump"):
+        payload["flight"] = recorder.dump(limit=FLIGHT_DUMP_EVENTS)
+    return payload
+
 
 def _execute_schedule_run(schedule_dict, seed, run_limit, mem_per_node,
-                          l2_size, factory=None, coverage=False):
+                          l2_size, factory=None, coverage=False,
+                          telemetry_mode="trace"):
     """Run one (schedule, seed) to a payload dict; never raises.
 
     The shared body of the per-run campaign worker and the batch workers.
     With ``coverage=True`` the payload additionally carries the fuzzer's
     per-run coverage summary (feature strings + containment times).
+    ``telemetry_mode="flight"`` swaps the full (head-capped) trace for an
+    always-on :class:`~repro.telemetry.flight.FlightRecorder` ring — the
+    cheap mode for very large sweeps; a FAIL/HUNG/CRASHED verdict (or a
+    stray-message storm) then dumps the tail window into the payload.
     """
     started = time.monotonic()
+    telemetry = None
     try:
         from repro.campaign.schedule import FaultSchedule
         from repro.core.config import MachineConfig
@@ -57,10 +83,15 @@ def _execute_schedule_run(schedule_dict, seed, run_limit, mem_per_node,
         config = MachineConfig(
             num_nodes=schedule.num_nodes, topology=schedule.topology,
             mem_per_node=mem_per_node, l2_size=l2_size, seed=seed)
-        # Tracing is on for every campaign run (bit-identical to untraced
-        # by the §9 contract) so a FAIL verdict arrives with its forensic
-        # story attached instead of needing a re-run to diagnose.
-        telemetry = Telemetry(max_events=200_000)
+        # A recorder is attached to every campaign run (bit-identical to
+        # untraced by the §9 contract) so a FAIL verdict arrives with its
+        # forensic story attached instead of needing a re-run to diagnose:
+        # the full head-capped trace by default, the last-N flight ring in
+        # flight mode.
+        if telemetry_mode == "flight":
+            telemetry = Telemetry(trace=False, flight=FLIGHT_CAPACITY)
+        else:
+            telemetry = Telemetry(max_events=200_000)
         if factory is not None:
             machine = factory.build(config, telemetry=telemetry)
         else:
@@ -81,6 +112,11 @@ def _execute_schedule_run(schedule_dict, seed, run_limit, mem_per_node,
         }
         if not result.passed:
             payload["forensics"] = forensic_summary(telemetry.recorder)
+        if telemetry_mode == "flight":
+            strays = sum(node.magic.stats.stray_messages
+                         for node in machine.nodes)
+            if not result.passed or strays >= STRAY_DUMP_THRESHOLD:
+                _attach_flight(payload, telemetry)
         if coverage:
             from repro.fuzz.coverage import run_coverage
             payload["coverage"] = run_coverage(machine, result,
@@ -89,24 +125,24 @@ def _execute_schedule_run(schedule_dict, seed, run_limit, mem_per_node,
     except (TimeoutError, RuntimeError) as exc:
         # Simulation-limit and deadlock/heap-drain conditions: the run
         # never reached a verdict.
-        return {
+        return _attach_flight({
             "status": RunStatus.HUNG.value,
             "error": "%s: %s" % (type(exc).__name__, exc),
             "elapsed_s": time.monotonic() - started,
-        }
+        }, telemetry)
     except BaseException:   # repro-lint: disable=broad-except — the
         # crash-isolation boundary itself: any worker death must become a
         # CRASHED record, not kill the campaign batch.
         import traceback
-        return {
+        return _attach_flight({
             "status": RunStatus.CRASHED.value,
             "error": traceback.format_exc(),
             "elapsed_s": time.monotonic() - started,
-        }
+        }, telemetry)
 
 
 def _batch_worker(task_queue, result_queue, worker_id, run_limit,
-                  mem_per_node, l2_size, coverage):
+                  mem_per_node, l2_size, coverage, telemetry_mode):
     """Long-lived worker loop: one task at a time until the None sentinel.
 
     The factory lives for the worker's whole life, which is exactly the
@@ -124,7 +160,8 @@ def _batch_worker(task_queue, result_queue, worker_id, run_limit,
         run_index, schedule_dict, seed = task
         payload = _execute_schedule_run(
             schedule_dict, seed, run_limit, mem_per_node, l2_size,
-            factory=factory, coverage=coverage)
+            factory=factory, coverage=coverage,
+            telemetry_mode=telemetry_mode)
         result_queue.put((worker_id, run_index, payload))
 
 
@@ -132,13 +169,13 @@ class _Worker:
     """One pool slot: a subprocess plus its private task queue."""
 
     def __init__(self, worker_id, result_queue, run_limit, mem_per_node,
-                 l2_size, coverage):
+                 l2_size, coverage, telemetry_mode):
         self.worker_id = worker_id
         self.task_queue = multiprocessing.Queue()
         self.process = multiprocessing.Process(
             target=_batch_worker,
             args=(self.task_queue, result_queue, worker_id, run_limit,
-                  mem_per_node, l2_size, coverage),
+                  mem_per_node, l2_size, coverage, telemetry_mode),
             daemon=True)
         self.process.start()
         self.task = None          # (run_index, schedule_dict, seed)
@@ -157,13 +194,15 @@ class BatchWorkerPool:
     """
 
     def __init__(self, jobs=1, timeout_s=300.0, run_limit=60_000_000_000,
-                 mem_per_node=64 << 10, l2_size=8 << 10, coverage=False):
+                 mem_per_node=64 << 10, l2_size=8 << 10, coverage=False,
+                 telemetry_mode="trace"):
         self.jobs = max(1, jobs)
         self.timeout_s = timeout_s
         self.run_limit = run_limit
         self.mem_per_node = mem_per_node
         self.l2_size = l2_size
         self.coverage = coverage
+        self.telemetry_mode = telemetry_mode
         self.result_queue = multiprocessing.Queue()
         self._next_worker_id = 0
         self.workers = [self._spawn() for _ in range(self.jobs)]
@@ -171,7 +210,7 @@ class BatchWorkerPool:
     def _spawn(self):
         worker = _Worker(self._next_worker_id, self.result_queue,
                          self.run_limit, self.mem_per_node, self.l2_size,
-                         self.coverage)
+                         self.coverage, self.telemetry_mode)
         self._next_worker_id += 1
         return worker
 

@@ -46,6 +46,11 @@ class RunRecord:
     #: root causes, blast radii and the containment-audit verdict —
     #: attached to FAIL runs only, {} otherwise
     forensics: dict = dataclasses.field(default_factory=dict)
+    #: flight-recorder tail window (FlightRecorder.dump) — attached by
+    #: flight-mode workers on FAIL/HUNG/CRASHED verdicts and stray-message
+    #: storms, {} otherwise; replayable through telemetry.flight
+    #: .events_from_dump for forensics/timeline analysis
+    flight: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self):
         data = dataclasses.asdict(self)
@@ -64,7 +69,8 @@ class RunRecord:
                    error=data.get("error", ""),
                    elapsed_s=data.get("elapsed_s", 0.0),
                    metrics=dict(data.get("metrics", {})),
-                   forensics=dict(data.get("forensics", {})))
+                   forensics=dict(data.get("forensics", {})),
+                   flight=dict(data.get("flight", {})))
 
 
 def append_record(path, record):

@@ -46,7 +46,7 @@ def derive_run_seed(campaign_seed, run_index):
 
 
 def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
-                     mem_per_node, l2_size):
+                     mem_per_node, l2_size, telemetry_mode="trace"):
     """Subprocess entry point: run one schedule, report via the queue.
 
     The run body itself lives in :mod:`repro.campaign.pool` so the
@@ -57,7 +57,8 @@ def _campaign_worker(result_queue, schedule_dict, seed, run_limit,
     warnings.simplefilter("ignore")   # skipped-injection warnings are data
     from repro.campaign.pool import _execute_schedule_run
     result_queue.put(_execute_schedule_run(
-        schedule_dict, seed, run_limit, mem_per_node, l2_size))
+        schedule_dict, seed, run_limit, mem_per_node, l2_size,
+        telemetry_mode=telemetry_mode))
 
 
 @dataclasses.dataclass
@@ -130,7 +131,7 @@ class CampaignRunner:
                  num_nodes=8, topology="mesh", schedule=None, out_path=None,
                  timeout_s=300.0, run_limit=60_000_000_000, jobs=1,
                  mem_per_node=64 << 10, l2_size=8 << 10, progress=None,
-                 reuse_machines=False):
+                 reuse_machines=False, telemetry_mode="trace"):
         self.kind = kind
         self.runs = runs
         self.campaign_seed = campaign_seed
@@ -151,6 +152,10 @@ class CampaignRunner:
         #: (:class:`repro.campaign.pool.BatchWorkerPool`) instead of one
         #: process per run — same records, amortized startup.
         self.reuse_machines = reuse_machines
+        #: "trace" (full head-capped trace per run) or "flight" (tracing
+        #: off, always-on last-N flight ring dumped on failures) — the
+        #: cheap mode for very large sweeps.
+        self.telemetry_mode = telemetry_mode
 
     # ------------------------------------------------------------ scheduling
 
@@ -171,6 +176,22 @@ class CampaignRunner:
 
     # --------------------------------------------------------------- driving
 
+    def _status_writer(self):
+        """Heartbeat sidecar next to the records file (None without one)."""
+        if not self.out_path:
+            return None
+        from repro.telemetry.status import StatusWriter
+        return StatusWriter(self.out_path + ".status.json",
+                            kind="campaign", total=self.runs)
+
+    @staticmethod
+    def _counts_of(records):
+        counts = {}
+        for record in records.values():
+            key = record.status.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
     def run(self):
         """Execute all pending runs; returns a :class:`CampaignSummary`."""
         records = {}
@@ -184,6 +205,8 @@ class CampaignRunner:
         if self.reuse_machines:
             return self._run_pooled(records, pending)
 
+        status = self._status_writer()
+        counts = self._counts_of(records)
         active = []
         while pending or active:
             while pending and len(active) < self.jobs:
@@ -196,11 +219,23 @@ class CampaignRunner:
                     still_running.append(run)
                     continue
                 records[record.run_index] = record
+                counts[record.status.value] = \
+                    counts.get(record.status.value, 0) + 1
                 if self.out_path:
                     append_record(self.out_path, record)
                 if self.progress is not None:
                     self.progress(record)
             active = still_running
+            if status is not None:
+                now = time.monotonic()
+                status.update(
+                    done=len(records), counts=counts,
+                    in_flight=[{"run_index": run.run_index,
+                                "elapsed_s": round(now - run.started, 2)}
+                               for run in active])
+        if status is not None:
+            status.update(done=len(records), counts=counts, finished=True,
+                          force=True)
 
         ordered = [records[index] for index in sorted(records)]
         return CampaignSummary.from_records(ordered)
@@ -209,10 +244,13 @@ class CampaignRunner:
         """Pooled driving loop: persistent workers, same records out."""
         from repro.campaign.pool import BatchWorkerPool
         plans = {}
+        status = self._status_writer()
+        counts = self._counts_of(records)
         with BatchWorkerPool(jobs=self.jobs, timeout_s=self.timeout_s,
                              run_limit=self.run_limit,
                              mem_per_node=self.mem_per_node,
-                             l2_size=self.l2_size) as pool:
+                             l2_size=self.l2_size,
+                             telemetry_mode=self.telemetry_mode) as pool:
             pending = list(pending)
             outstanding = 0
             while pending or outstanding:
@@ -229,10 +267,24 @@ class CampaignRunner:
                     record = self._record(
                         _PlannedRun(run_index, seed, schedule), payload)
                     records[record.run_index] = record
+                    counts[record.status.value] = \
+                        counts.get(record.status.value, 0) + 1
                     if self.out_path:
                         append_record(self.out_path, record)
                     if self.progress is not None:
                         self.progress(record)
+                if status is not None:
+                    now = time.monotonic()
+                    status.update(
+                        done=len(records), counts=counts,
+                        in_flight=[
+                            {"run_index": worker.task[0],
+                             "elapsed_s": round(now - worker.started, 2)}
+                            for worker in pool.workers
+                            if worker.task is not None])
+        if status is not None:
+            status.update(done=len(records), counts=counts, finished=True,
+                          force=True)
         ordered = [records[index] for index in sorted(records)]
         return CampaignSummary.from_records(ordered)
 
@@ -245,7 +297,7 @@ class CampaignRunner:
         process = multiprocessing.Process(
             target=_campaign_worker,
             args=(result_queue, schedule.to_dict(), seed, self.run_limit,
-                  self.mem_per_node, self.l2_size),
+                  self.mem_per_node, self.l2_size, self.telemetry_mode),
             daemon=True)
         process.start()
         return _ActiveRun(run_index=run_index, seed=seed, schedule=schedule,
@@ -295,6 +347,7 @@ class CampaignRunner:
             elapsed_s=payload.get("elapsed_s", 0.0),
             metrics=dict(payload.get("metrics", {})),
             forensics=dict(payload.get("forensics", {})),
+            flight=dict(payload.get("flight", {})),
         )
 
 

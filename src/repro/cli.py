@@ -144,7 +144,7 @@ def cmd_campaign(args):
         schedule=fixed_schedule, out_path=out_path,
         timeout_s=args.timeout, jobs=args.jobs,
         mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
-        progress=progress)
+        progress=progress, telemetry_mode=args.telemetry)
     summary = runner.run()
     forensics_path = None
     failing_forensics = [
@@ -160,6 +160,11 @@ def cmd_campaign(args):
             handle.write("\n")
         print("forensic report (%d failing run(s)): %s"
               % (len(failing_forensics), forensics_path), file=sys.stderr)
+    flight_dumps = sum(1 for record in summary.records if record.flight)
+    if flight_dumps:
+        print("flight recorder: %d run(s) carry a dumped tail window in "
+              "%s (replay via repro.telemetry.flight.events_from_dump)"
+              % (flight_dumps, out_path), file=sys.stderr)
     if args.summary_json:
         print(json.dumps({
             "total": summary.total,
@@ -310,11 +315,17 @@ def cmd_trace(args):
         timelines = [timeline]
     write_chrome_trace(
         events, args.out,
-        label="repro %d nodes, %s" % (args.nodes_count, args.fault))
+        label="repro %d nodes, %s" % (args.nodes_count, args.fault),
+        dropped_events=recorder.dropped_events)
     for timeline in timelines:
         print(format_timeline(timeline))
     print("%d events (%d dropped) -> %s"
           % (len(events), recorder.dropped_events, args.out))
+    if recorder.dropped_events:
+        print("WARNING: trace truncated — %d event(s) past the "
+              "--max-events cap were dropped; timelines and the Chrome "
+              "export miss the run's tail" % recorder.dropped_events,
+              file=sys.stderr)
     return 0 if result.passed else 1
 
 
@@ -351,6 +362,7 @@ def cmd_forensics(args):
 
 def cmd_bench(args):
     from repro.telemetry.scalability import (
+        append_bench_history,
         run_scalability_sweep,
         scalability_table,
         sweep_ok,
@@ -379,6 +391,8 @@ def cmd_bench(args):
         mem_per_node=args.mem_kb << 10, l2_size=args.l2_kb << 10,
         seed=args.seed, progress=progress)
     write_bench_json(payload, out)
+    if args.history:
+        append_bench_history(payload, args.history)
     print(scalability_table(payload))
     print("wrote %s" % out)
     return 0 if sweep_ok(payload) else 1
@@ -390,9 +404,15 @@ def _cmd_bench_micro(args):
         check_against_baseline,
         load_baseline,
         micro_table,
+        run_flight_overhead,
         run_micro_suite,
+        run_profiled_suite,
     )
-    from repro.telemetry.scalability import write_bench_json
+    from repro.telemetry.profiler import profile_table
+    from repro.telemetry.scalability import (
+        append_bench_history,
+        write_bench_json,
+    )
 
     def progress(result):
         print("  %-18s %8s events/s (heap<=%d, %d compactions)"
@@ -402,9 +422,9 @@ def _cmd_bench_micro(args):
     out = args.out or "BENCH_simcore.json"
     payload = run_micro_suite(seed=args.seed, repeats=args.repeats,
                               progress=progress)
-    write_bench_json(payload, out)
 
     if args.update_baseline:
+        write_bench_json(payload, out)
         if args.baseline is None:
             raise SystemExit("--update-baseline needs --baseline PATH")
         baseline = baseline_from_payload(payload)
@@ -415,11 +435,40 @@ def _cmd_bench_micro(args):
               % (args.baseline, baseline["margin"]), file=sys.stderr)
         return 0
 
+    overhead = None
+    if args.flight_overhead:
+        print("  measuring flight-recorder overhead (paired 8-node "
+              "recovery runs) ...", file=sys.stderr)
+        overhead = run_flight_overhead(seed=args.seed,
+                                       repeats=args.repeats)
+        payload["flight_overhead"] = overhead
+    write_bench_json(payload, out)
+    if args.history:
+        append_bench_history(payload, args.history)
+
     failures = []
     if args.baseline is not None:
         failures = check_against_baseline(
             payload, load_baseline(args.baseline),
             max_regression=args.max_regression)
+    if overhead is not None and overhead["overhead"] is not None \
+            and overhead["overhead"] > args.max_flight_overhead:
+        failures.append(
+            "flight recorder costs %.1f%% of machine throughput "
+            "(budget %.0f%%): %d ev/s off -> %d ev/s flight"
+            % (100.0 * overhead["overhead"],
+               100.0 * args.max_flight_overhead,
+               overhead["events_per_sec_off"],
+               overhead["events_per_sec_flight"]))
+
+    # The profiled pass runs on its own simulators: timing every dispatch
+    # is real overhead, so it must never touch the gated throughput run.
+    profiler = None
+    if not args.no_profile:
+        profiler = run_profiled_suite(seed=args.seed)
+        if args.folded_out:
+            with open(args.folded_out, "w", encoding="utf-8") as handle:
+                handle.write(profiler.folded())
 
     if args.summary_json:
         print(json.dumps({
@@ -429,15 +478,83 @@ def _cmd_bench_micro(args):
             "baseline": args.baseline,
             "max_regression": (args.max_regression
                                if args.baseline is not None else None),
+            "flight_overhead": overhead,
             "regressions": failures,
             "ok": not failures,
         }, sort_keys=True))
     else:
         print(micro_table(payload))
+        if profiler is not None:
+            print(profile_table(profiler))
+            if args.folded_out:
+                print("folded stacks: %s" % args.folded_out)
+        if overhead is not None:
+            print("flight overhead: %.2f%% (%d ev/s off -> %d ev/s "
+                  "flight, budget %.0f%%)"
+                  % (100.0 * (overhead["overhead"] or 0.0),
+                     overhead["events_per_sec_off"],
+                     overhead["events_per_sec_flight"],
+                     100.0 * args.max_flight_overhead))
         print("wrote %s" % out)
     for failure in failures:
         print("PERF REGRESSION: %s" % failure, file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_status(args):
+    import time
+
+    from repro.telemetry.status import (
+        format_status,
+        read_status,
+        status_sidecar_path,
+    )
+
+    sidecar = status_sidecar_path(args.path)
+    while True:
+        payload = read_status(sidecar)
+        if payload is None:
+            raise SystemExit("no status sidecar at %s (is the sweep "
+                             "running with an output path?)" % sidecar)
+        if args.json:
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            print(format_status(payload))
+        if args.watch is None or payload.get("finished"):
+            return 0
+        time.sleep(args.watch)
+
+
+def cmd_report(args):
+    from repro.telemetry.report import aggregate, collect_sources, render_html
+
+    agg = aggregate(collect_sources(args.paths))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_html(agg, title=args.title))
+    if args.json:
+        payload = dict(agg)
+        payload["out"] = args.out
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print("report: %d run(s) from %d source(s) -> %s"
+              % (agg["runs"], len(agg["sources"]), args.out))
+        containment = agg["containment_ms"]
+        if containment["count"]:
+            print("  containment: %d episode(s)  p50=%s p95=%s p99=%s ms"
+                  % (containment["count"], containment["p50"],
+                     containment["p95"], containment["p99"]))
+        avail = agg["availability"]
+        if avail.get("runs"):
+            mttr = avail.get("mttr_ms") or {}
+            print("  availability: mean=%s min=%s  MTTR p50=%s p95=%s ms"
+                  % (avail.get("availability_mean"),
+                     avail.get("availability_min"),
+                     mttr.get("p50"), mttr.get("p95")))
+    if not agg["runs"]:
+        print("report: no records found in: %s" % " ".join(args.paths),
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _format_github(findings):
@@ -651,6 +768,12 @@ def build_parser():
     p_camp.add_argument("--summary-json", action="store_true",
                         help="print one machine-readable JSON summary "
                              "line instead of the human report")
+    p_camp.add_argument("--telemetry", default="trace",
+                        choices=["trace", "flight"],
+                        help="'flight': tracing off, an always-on "
+                             "last-N flight ring per run, dumped into "
+                             "the record on failures and stray-message "
+                             "storms (the cheap mode for large sweeps)")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_fuzz = sub.add_parser(
@@ -776,7 +899,55 @@ def build_parser():
                               "instead of gating")
     p_bench.add_argument("--summary-json", action="store_true",
                          help="micro: one machine-readable summary line")
+    p_bench.add_argument("--no-profile", action="store_true",
+                         help="micro: skip the separate profiled pass "
+                              "(per-handler wall-time attribution)")
+    p_bench.add_argument("--folded-out", default=None, metavar="PATH",
+                         help="micro: write the profiled pass as folded "
+                              "stacks (flamegraph.pl / speedscope input)")
+    p_bench.add_argument("--flight-overhead", action="store_true",
+                         help="micro: also measure the always-on flight "
+                              "recorder's cost on paired 8-node recovery "
+                              "runs and gate it")
+    p_bench.add_argument("--max-flight-overhead", type=float, default=0.05,
+                         help="fail when the flight recorder costs more "
+                              "than this fraction of machine throughput")
+    p_bench.add_argument("--history", default=None, metavar="PATH",
+                         help="append this run's headline figures as one "
+                              "JSONL line (BENCH_history.jsonl)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_status = sub.add_parser(
+        "status",
+        help="read the live status sidecar of a running (or finished) "
+             "campaign/fuzz sweep")
+    p_status.add_argument("path",
+                          help="campaign records path, fuzz session "
+                               "directory, or the status.json itself")
+    p_status.add_argument("--json", action="store_true",
+                          help="print the raw status document")
+    p_status.add_argument("--watch", type=float, default=None,
+                          metavar="SECONDS",
+                          help="re-read every SECONDS until the sweep "
+                               "reports finished")
+    p_status.set_defaults(func=cmd_status)
+
+    p_report = sub.add_parser(
+        "report",
+        help="aggregate campaign records and fuzz sessions into one "
+             "self-contained HTML fleet report (outcome mix, containment "
+             "and availability/MTTR percentiles, blast radius, coverage "
+             "growth)")
+    p_report.add_argument("paths", nargs="+",
+                          help="campaign JSONL file(s) and/or fuzz "
+                               "session directorie(s)")
+    p_report.add_argument("--out", default="report.html",
+                          help="HTML output path")
+    p_report.add_argument("--title",
+                          default="Fault-containment fleet report")
+    p_report.add_argument("--json", action="store_true",
+                          help="also print the aggregate as JSON")
+    p_report.set_defaults(func=cmd_report)
 
     p_lint = sub.add_parser(
         "lint",

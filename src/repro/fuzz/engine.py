@@ -237,11 +237,21 @@ class FuzzEngine:
             return time.monotonic() - started < self.wall_clock_s
         return self._next_index < self.runs
 
+    def _status_writer(self):
+        """Heartbeat sidecar in the session directory (None without one)."""
+        if self.out_dir is None:
+            return None
+        from repro.telemetry.status import StatusWriter
+        return StatusWriter(self._path("status.json"), kind="fuzz",
+                            total=None if self.wall_clock_s is not None
+                            else self.runs)
+
     def run(self):
         """Execute the session; returns the report dict."""
         if self.out_dir is not None:
             os.makedirs(self.out_dir, exist_ok=True)
         started = time.monotonic()
+        status = self._status_writer()
         plans = {}
         with BatchWorkerPool(jobs=self.jobs, timeout_s=self.timeout_s,
                              run_limit=self.run_limit,
@@ -259,6 +269,30 @@ class FuzzEngine:
                 time.sleep(0.02)
                 for run_index, payload in pool.poll():
                     self._absorb(plans.pop(run_index), payload)
+                if status is not None:
+                    now = time.monotonic()
+                    status.update(
+                        done=self.stats["runs"],
+                        counts={key: self.stats[key] for key in
+                                ("pass", "fail", "crashed", "hung")},
+                        in_flight=[
+                            {"run_index": worker.task[0],
+                             "elapsed_s": round(now - worker.started, 2)}
+                            for worker in pool.workers
+                            if worker.task is not None],
+                        extras={
+                            "coverage_features": len(self.coverage),
+                            "corpus_size": len(self.corpus),
+                            "failures": len(self.failures)})
+        if status is not None:
+            status.update(
+                done=self.stats["runs"],
+                counts={key: self.stats[key] for key in
+                        ("pass", "fail", "crashed", "hung")},
+                extras={"coverage_features": len(self.coverage),
+                        "corpus_size": len(self.corpus),
+                        "failures": len(self.failures)},
+                finished=True, force=True)
         shrunk = self._shrink_failures()
         return self.report(elapsed_s=time.monotonic() - started,
                            shrunk=shrunk)

@@ -9,9 +9,10 @@ rests on one source idiom (DESIGN.md §9)::
 
 so a disabled run pays one attribute load and one identity test per site.
 A directed test asserts traced and untraced runs are bit-identical; this
-rule makes the guard itself unforgeable: every ``<x>.emit(...)`` call, and
+rule makes the guard itself unforgeable: every ``<x>.emit(...)`` call,
 every instrument fetch on a nullable ``metrics`` handle
-(``metrics.counter(...)`` etc.), must sit inside an
+(``metrics.counter(...)`` etc.), and every profiler hook
+(``prof.dispatch(...)`` in the event loop) must sit inside an
 ``if <x> is not None`` branch over the very same receiver expression.
 
 The ``telemetry/`` package itself is exempt: it *implements* the recorder
@@ -60,6 +61,10 @@ def _receiver(call):
         return None, None
     if func.attr == "emit":
         return chain, "trace"
+    if func.attr == "dispatch":
+        base = chain.rsplit(".", 1)[-1]
+        if base in ("prof", "profiler") or base.endswith("_profiler"):
+            return chain, "profiler"
     if func.attr in _METRIC_FACTORIES:
         base = chain.rsplit(".", 1)[-1]
         if base == "metrics" or base.endswith("_metrics"):
@@ -115,8 +120,10 @@ class TelemetryGuardChecker(Checker):
                 "%s call on %r is not guarded by 'if %s is not None': "
                 "with telemetry disabled this site must cost one identity "
                 "check, nothing more (DESIGN.md §9)"
-                % ("trace emission" if kind == "trace"
-                   else "metrics instrument", chain, chain)))
+                % ({"trace": "trace emission",
+                    "profiler": "profiler dispatch",
+                    "metrics": "metrics instrument"}[kind],
+                   chain, chain)))
 
 
 #: packet-handling zones whose emissions must carry causal provenance

@@ -89,6 +89,11 @@ class Simulator:
         self.events_executed = 0
         #: heap rebuilds performed (compaction effectiveness telemetry)
         self.compactions = 0
+        #: optional :class:`~repro.telemetry.profiler.SimProfiler`; the
+        #: dispatch site below uses the §9 zero-cost guard idiom, so a
+        #: detached run pays one identity test per event and is
+        #: bit-identical to seed behaviour
+        self.profiler = None
 
     @property
     def now(self):
@@ -149,7 +154,11 @@ class Simulator:
             call.cancelled = True
             self._now = head[0]
             self.events_executed += 1
-            call.callback(*call.args)
+            prof = self.profiler
+            if prof is not None:
+                prof.dispatch(call.callback, call.args)
+            else:
+                call.callback(*call.args)
             return True
         return False
 

@@ -1,0 +1,184 @@
+"""Availability accounting: per-cell timelines, downtime and MTTR.
+
+The paper's availability claim (§1, §6) is that a fault costs the machine
+a bounded *recovery window* plus the failed cell — not the whole machine.
+This module turns the recovery timeline the model already keeps
+(:class:`~repro.recovery.manager.RecoveryReport` per episode) into the
+metrics that claim is stated in:
+
+* a **per-cell timeline** — each node is ``up``, ``degraded`` (a recovery
+  episode is rewriting directories / draining the network, so the node is
+  reachable but stalled) or ``down`` (shut down by the episode, i.e. the
+  failed cell);
+* **downtime** — the union of episode windows (trigger -> complete), the
+  span in which the machine as a whole is degraded;
+* **MTTR percentiles** — p50/p95/p99 over per-episode repair times,
+  reported alongside the containment-time percentiles so the two headline
+  distributions travel together (see PAPERS.md on containment-time
+  distributions as the right summary statistic);
+* an **availability fraction** — 1 - degraded-time / window per node,
+  averaged over surviving nodes (a shut-down cell counts as lost from its
+  episode's trigger onward).
+
+Everything here is a post-run sweep over data the model keeps anyway —
+nothing on the hot path, which is what lets campaign records carry an
+``availability`` section by default (``summarize_run``).
+"""
+
+from repro.telemetry.metrics import Histogram
+
+_MS = 1e6       # ns per ms
+
+
+def _round_ms(ns):
+    return round(ns / _MS, 6)
+
+
+def availability_from_reports(reports, window_ns, num_nodes):
+    """Availability summary of one run; JSON-friendly.
+
+    ``reports`` are the run's :class:`RecoveryReport` episodes in trigger
+    order, ``window_ns`` the run's total simulated span (``sim.now``).
+    An episode that never completed extends to the window end (the run
+    ended degraded).
+    """
+    window_ns = float(window_ns) or 0.0
+    episodes = []
+    mttr = Histogram()
+    down_since = {}          # node -> time it was shut down
+    degraded_ns = [0.0] * num_nodes
+
+    for report in reports:
+        start = report.trigger_time
+        end = (report.complete_time if report.complete_time is not None
+               else window_ns)
+        duration = max(0.0, end - start)
+        if report.complete_time is not None:
+            mttr.observe(duration)
+        for node in report.shutdown_nodes:
+            if 0 <= node < num_nodes:
+                down_since.setdefault(node, start)
+        for node in range(num_nodes):
+            if node not in down_since:
+                degraded_ns[node] += duration
+        episodes.append({
+            "trigger_ms": _round_ms(start),
+            "complete_ms": (_round_ms(report.complete_time)
+                            if report.complete_time is not None else None),
+            "duration_ms": _round_ms(duration),
+            "completed": report.complete_time is not None,
+            "shutdown_nodes": sorted(report.shutdown_nodes),
+            "restarts": report.restarts,
+        })
+
+    per_node = {}
+    up_fractions = []
+    for node in range(num_nodes):
+        if node in down_since:
+            down = max(0.0, window_ns - down_since[node])
+            state = "down"
+        else:
+            down = 0.0
+            state = "up"
+        # degraded_ns only ever accumulated while the node was still up:
+        # the shutdown mark is applied before the per-episode sweep.
+        degraded = degraded_ns[node]
+        up = max(0.0, window_ns - down - degraded)
+        fraction = up / window_ns if window_ns else 1.0
+        per_node[str(node)] = {
+            "state": state,
+            "up_ms": _round_ms(up),
+            "degraded_ms": _round_ms(degraded),
+            "down_ms": _round_ms(down),
+            "availability": round(fraction, 6),
+        }
+        if node not in down_since:
+            up_fractions.append(fraction)
+
+    downtime_ns = sum(episode["duration_ms"] for episode in episodes) * _MS
+    summary = {
+        "window_ms": _round_ms(window_ns),
+        "episodes": len(episodes),
+        "downtime_ms": _round_ms(downtime_ns),
+        "availability": (round(sum(up_fractions) / len(up_fractions), 6)
+                         if up_fractions else 0.0 if num_nodes else 1.0),
+        "nodes": {
+            "total": num_nodes,
+            "up": sum(1 for node in per_node.values()
+                      if node["state"] == "up"),
+            "down": sum(1 for node in per_node.values()
+                        if node["state"] == "down"),
+        },
+        "episode_durations_ms": [episode["duration_ms"]
+                                 for episode in episodes
+                                 if episode["completed"]],
+        "timeline": episodes,
+        "per_node": per_node,
+    }
+    if mttr.count:
+        summary["mttr_ms"] = {
+            "count": mttr.count,
+            "mean": _round_ms(mttr.mean),
+        }
+        summary["mttr_ms"].update({
+            key: _round_ms(value)
+            for key, value in mttr.percentiles().items()
+        })
+    return summary
+
+
+def merge_availability(summaries):
+    """Fleet-level aggregation over many runs' availability sections.
+
+    Re-observes every completed episode duration into one histogram so
+    the fleet MTTR percentiles are computed over episodes, not averaged
+    over per-run percentiles (which would be wrong).
+    """
+    mttr = Histogram()
+    runs = 0
+    fractions = []
+    episodes = 0
+    down_nodes = 0
+    for summary in summaries:
+        if not summary:
+            continue
+        runs += 1
+        episodes += summary.get("episodes", 0)
+        fractions.append(summary.get("availability", 1.0))
+        down_nodes += summary.get("nodes", {}).get("down", 0)
+        for duration_ms in summary.get("episode_durations_ms", ()):
+            mttr.observe(duration_ms)
+    out = {
+        "runs": runs,
+        "episodes": episodes,
+        "down_nodes": down_nodes,
+        "availability_mean": (round(sum(fractions) / len(fractions), 6)
+                              if fractions else None),
+        "availability_min": (round(min(fractions), 6)
+                             if fractions else None),
+    }
+    if mttr.count:
+        out["mttr_ms"] = {"count": mttr.count,
+                          "mean": round(mttr.mean, 6)}
+        out["mttr_ms"].update({key: round(value, 6) if value is not None
+                               else None
+                               for key, value in mttr.percentiles().items()})
+    return out
+
+
+def format_availability(summary):
+    """Human-readable one-run availability block."""
+    lines = ["availability: %.4f over %.2f ms window (%d episode(s), "
+             "%.2f ms degraded)"
+             % (summary["availability"], summary["window_ms"],
+                summary["episodes"], summary["downtime_ms"])]
+    mttr = summary.get("mttr_ms")
+    if mttr:
+        lines.append("  MTTR [ms]: mean=%.2f p50=%.2f p95=%.2f p99=%.2f "
+                     "(%d repair(s))"
+                     % (mttr["mean"], mttr["p50"], mttr["p95"],
+                        mttr["p99"], mttr["count"]))
+    nodes = summary["nodes"]
+    lines.append("  cells: %d up, %d down of %d"
+                 % (nodes["up"], nodes["down"], nodes["total"]))
+    return "\n".join(lines)

@@ -26,8 +26,13 @@ def _us(time_ns):
     return time_ns / 1000.0
 
 
-def to_chrome_trace(events, label="flash machine"):
-    """Convert trace events into a Chrome trace_event JSON object (dict)."""
+def to_chrome_trace(events, label="flash machine", dropped_events=0):
+    """Convert trace events into a Chrome trace_event JSON object (dict).
+
+    ``dropped_events`` (a recorder's overflow count) is carried in the
+    standard ``otherData`` block so a viewer of the export can tell a
+    truncated trace from a complete one.
+    """
     out = [{
         "name": "process_name", "ph": "M", "pid": PID, "tid": 0,
         "args": {"name": label},
@@ -93,7 +98,11 @@ def to_chrome_trace(events, label="flash machine"):
             "name": "thread_name", "ph": "M", "pid": PID, "tid": tid,
             "args": {"name": "node %d" % tid},
         })
-    return {"traceEvents": out, "displayTimeUnit": "ms"}
+    payload = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if dropped_events:
+        payload["otherData"] = {"dropped_events": dropped_events,
+                                "truncated": True}
+    return payload
 
 
 def _jsonable(value):
@@ -102,9 +111,11 @@ def _jsonable(value):
     return str(value)
 
 
-def write_chrome_trace(events, path, label="flash machine"):
+def write_chrome_trace(events, path, label="flash machine",
+                       dropped_events=0):
     """Write the Chrome trace JSON for ``events`` to ``path``."""
-    payload = to_chrome_trace(events, label=label)
+    payload = to_chrome_trace(events, label=label,
+                              dropped_events=dropped_events)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")

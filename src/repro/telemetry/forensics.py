@@ -298,6 +298,11 @@ def forensic_summary(source):
     return {
         "verdict": report.verdict,
         "truncated": report.truncated,
+        # For a head-capped trace: events silently dropped at the tail;
+        # for a flight ring: oldest events evicted.  Either way a
+        # "contained" verdict over a truncated window deserves suspicion.
+        "dropped_events": report.dropped_events,
+        "analyzed_events": report.total_events,
         "faults": [
             {
                 "root": fault.root,

@@ -266,6 +266,8 @@ def summarize_run(machine):
                 for key, value in latencies.percentiles().items()
             }
 
+    from repro.telemetry.availability import availability_from_reports
+
     return {
         "sim_ns": machine.sim.now,
         "sim_events": machine.sim.events_executed,
@@ -273,4 +275,6 @@ def summarize_run(machine):
         "detectors": detectors,
         "naks": naks,
         "recovery": recovery,
+        "availability": availability_from_reports(
+            manager.reports, machine.sim.now, len(machine.nodes)),
     }

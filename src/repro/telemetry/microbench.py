@@ -131,14 +131,20 @@ def _scaled(value, scale):
     return max(1, int(round(value * scale)))
 
 
-def run_micro_bench(name, seed=0, scale=1.0, compact_min_cancelled=None):
+def run_micro_bench(name, seed=0, scale=1.0, compact_min_cancelled=None,
+                    profiler=None):
     """Run one micro-bench once; returns its JSON-friendly result dict.
 
     ``scale`` multiplies the workload size (tests use a small fraction);
     ``compact_min_cancelled`` is forwarded to :class:`Simulator` so the
-    determinism test can force compaction on or off.
+    determinism test can force compaction on or off.  ``profiler``
+    attaches a :class:`~repro.telemetry.profiler.SimProfiler` to the
+    dispatch loop — use only on a *separate* profiled pass, never on the
+    throughput measurement (timing every dispatch costs real wall time).
     """
     sim = Simulator(seed=seed, compact_min_cancelled=compact_min_cancelled)
+    if profiler is not None:
+        sim.profiler = profiler
     peak = {"heap": 0, "live": 0}
 
     def probe():
@@ -217,6 +223,62 @@ def run_micro_suite(seed=0, repeats=DEFAULT_REPEATS, scale=1.0,
         "scale": scale,
         "results": results,
         "events_per_sec": {r["name"]: r["events_per_sec"] for r in results},
+    }
+
+
+def run_profiled_suite(seed=0, scale=1.0):
+    """One profiled pass over every micro-bench; returns the merged
+    :class:`~repro.telemetry.profiler.SimProfiler`.
+
+    Kept separate from :func:`run_micro_suite` on purpose: the profiler's
+    per-dispatch ``perf_counter`` pair is real overhead, so attributing
+    wall time and gating throughput must never share a run.
+    """
+    from repro.telemetry.profiler import SimProfiler
+    profiler = SimProfiler()
+    for name in MICRO_BENCHES:
+        run_micro_bench(name, seed=seed, scale=scale, profiler=profiler)
+    return profiler
+
+
+def run_flight_overhead(seed=0, repeats=DEFAULT_REPEATS, num_nodes=8,
+                        capacity=None):
+    """Measure the always-on flight recorder's cost on a machine workload.
+
+    The micro-benches have no emission sites (they exercise the bare event
+    loop), so the honest measurement is a full machine recovery run —
+    :func:`~repro.telemetry.scalability.run_scalability_point` — paired:
+    telemetry off versus ``Telemetry(trace=False, flight=N)``.  Best of
+    ``repeats`` per arm (wall noise only ever slows a run down); overhead
+    is the throughput drop of the flight arm.  Returns a JSON-friendly
+    dict with both arms' events/sec and the ``overhead`` fraction.
+    """
+    from repro.telemetry.flight import DEFAULT_CAPACITY
+    from repro.telemetry.scalability import run_scalability_point
+    from repro.telemetry.trace import Telemetry
+    capacity = DEFAULT_CAPACITY if capacity is None else capacity
+
+    def best_events_per_sec(flight):
+        best = 0
+        for _ in range(max(1, repeats)):
+            telemetry = (Telemetry(trace=False, flight=capacity)
+                         if flight else None)
+            gc.collect()
+            result = run_scalability_point(num_nodes, seed=seed,
+                                           telemetry=telemetry)
+            best = max(best, result["sim"]["events_per_sec"] or 0)
+        return best
+
+    off = best_events_per_sec(flight=False)
+    on = best_events_per_sec(flight=True)
+    overhead = max(0.0, 1.0 - on / off) if off else None
+    return {
+        "num_nodes": num_nodes,
+        "capacity": capacity,
+        "repeats": max(1, repeats),
+        "events_per_sec_off": off,
+        "events_per_sec_flight": on,
+        "overhead": round(overhead, 4) if overhead is not None else None,
     }
 
 

@@ -1,0 +1,339 @@
+"""Fleet reports: aggregate campaign + fuzz JSONL into one HTML document.
+
+``repro.cli report`` is the read side of the fleet observability layer:
+given any mix of campaign records files and fuzz session directories, it
+produces a single self-contained HTML report (inline CSS + SVG, no
+external assets, no dependencies) with the paper-facing statistics:
+
+* outcome mix per source and overall (pass / fail / crashed / hung);
+* **containment-time percentiles** — p50/p95/p99 over every recovery
+  episode observed across all sources, the headline distribution
+  (PAPERS.md: containment-time distributions for self-stabilizing
+  systems) plus its bucket histogram;
+* **availability / MTTR** — fleet-level aggregation of the per-run
+  availability sections (:mod:`repro.telemetry.availability`), with MTTR
+  percentiles recomputed over raw episode durations, never averaged over
+  per-run percentiles;
+* **blast-radius distribution** — how many nodes each injected fault
+  actually reached (forensic summaries), the observational containment
+  evidence;
+* **coverage growth** — the fuzz sessions' distinct-feature curve over
+  run index, showing whether the mutation loop is still finding new
+  behaviour.
+
+The same aggregate is available as JSON (``--json``) for dashboards.
+"""
+
+import html
+import json
+import os
+
+from repro.telemetry.availability import merge_availability
+from repro.telemetry.metrics import Histogram
+
+_STATUSES = ("pass", "fail", "crashed", "hung")
+
+_STATUS_COLORS = {"pass": "#2e7d32", "fail": "#c62828",
+                  "crashed": "#6a1b9a", "hung": "#ef6c00"}
+
+
+# ------------------------------------------------------------- collection
+
+def _load_json_lines(path):
+    rows = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return rows
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except ValueError:
+                continue   # torn tail line of a live session
+    return rows
+
+
+def collect_sources(paths):
+    """Resolve CLI paths into ``{path, kind, records}`` sources.
+
+    A directory is a fuzz session (``records.jsonl`` inside); a JSONL
+    file is sniffed — fuzz records carry ``lineage``, campaign records do
+    not.
+    """
+    sources = []
+    for path in paths:
+        if os.path.isdir(path):
+            records_path = os.path.join(path, "records.jsonl")
+            sources.append({"path": path, "kind": "fuzz",
+                            "records": _load_json_lines(records_path)})
+            continue
+        records = _load_json_lines(path)
+        kind = ("fuzz" if records and "lineage" in records[0]
+                else "campaign")
+        sources.append({"path": path, "kind": kind, "records": records})
+    return sources
+
+
+# ------------------------------------------------------------ aggregation
+
+def aggregate(sources):
+    """Fold sources into the report aggregate (JSON-friendly)."""
+    outcomes = {status: 0 for status in _STATUSES}
+    containment = Histogram()
+    availability_sections = []
+    blast = {}
+    growth = []
+    per_source = []
+    fuzz_runs = 0
+
+    for source in sources:
+        counts = {status: 0 for status in _STATUSES}
+        for record in source["records"]:
+            status = record.get("status", "crashed")
+            counts[status] = counts.get(status, 0) + 1
+            outcomes[status] = outcomes.get(status, 0) + 1
+            metrics = record.get("metrics") or {}
+            section = metrics.get("availability")
+            if section:
+                availability_sections.append(section)
+                for duration_ms in section.get("episode_durations_ms", ()):
+                    containment.observe(duration_ms)
+            elif source["kind"] == "fuzz":
+                for ns in record.get("containment_ns", ()):
+                    containment.observe(ns / 1e6)
+            else:
+                # Pre-availability campaign records still carry the last
+                # episode's recovery latency in the metrics summary.
+                total_ms = (metrics.get("recovery") or {}).get("total_ms")
+                if total_ms:
+                    containment.observe(total_ms)
+            for fault in (record.get("forensics") or {}).get("faults", ()):
+                radius = len(fault.get("blast_nodes", ()))
+                blast[radius] = blast.get(radius, 0) + 1
+        per_source.append({
+            "path": source["path"],
+            "kind": source["kind"],
+            "runs": len(source["records"]),
+            "counts": counts,
+        })
+        if source["kind"] == "fuzz":
+            seen = 0
+            for record in sorted(source["records"],
+                                 key=lambda r: r.get("run_index", 0)):
+                seen += len(record.get("new_features", ()))
+                fuzz_runs += 1
+                growth.append((fuzz_runs, seen))
+
+    total = sum(outcomes.values())
+    return {
+        "sources": per_source,
+        "runs": total,
+        "outcomes": outcomes,
+        "containment_ms": {
+            "count": containment.count,
+            "mean": round(containment.mean, 6) if containment.count else None,
+            "p50": containment.percentile(50),
+            "p95": containment.percentile(95),
+            "p99": containment.percentile(99),
+            "max": containment.max,
+            "buckets": {str(bound): count for bound, count
+                        in sorted(containment.buckets.items())},
+        },
+        "availability": merge_availability(availability_sections),
+        "blast_radius": {str(radius): count for radius, count
+                         in sorted(blast.items())},
+        "coverage_growth": growth,
+    }
+
+
+# -------------------------------------------------------------- rendering
+
+def _svg_bars(pairs, width=640, height=180, color="#1565c0"):
+    """Vertical bar chart of ``(label, value)`` pairs as inline SVG."""
+    if not pairs:
+        return "<p class='empty'>no data</p>"
+    top = max(value for _, value in pairs) or 1
+    pad, axis = 8, 22
+    slot = (width - pad * 2) / len(pairs)
+    bar_w = max(2.0, slot * 0.7)
+    parts = ["<svg viewBox='0 0 %d %d' role='img'>" % (width, height + axis)]
+    for index, (label, value) in enumerate(pairs):
+        bar_h = (height - pad) * value / top
+        x = pad + index * slot + (slot - bar_w) / 2
+        y = height - bar_h
+        parts.append(
+            "<rect x='%.1f' y='%.1f' width='%.1f' height='%.1f' "
+            "fill='%s'><title>%s: %s</title></rect>"
+            % (x, y, bar_w, bar_h, color,
+               html.escape(str(label)), value))
+        parts.append(
+            "<text x='%.1f' y='%.1f' font-size='10' fill='#444' "
+            "text-anchor='middle'>%s</text>"
+            % (x + bar_w / 2, height + 14, html.escape(str(label))))
+        parts.append(
+            "<text x='%.1f' y='%.1f' font-size='10' fill='#222' "
+            "text-anchor='middle'>%s</text>"
+            % (x + bar_w / 2, max(10.0, y - 3), value))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_line(points, width=640, height=180, color="#1565c0"):
+    """Line chart of ``(x, y)`` points as inline SVG."""
+    if len(points) < 2:
+        return "<p class='empty'>fewer than two points</p>"
+    pad, axis = 8, 22
+    x_max = max(x for x, _ in points) or 1
+    y_max = max(y for _, y in points) or 1
+    scale_x = (width - pad * 2) / x_max
+    scale_y = (height - pad * 2) / y_max
+    coords = " ".join(
+        "%.1f,%.1f" % (pad + x * scale_x, height - pad - y * scale_y)
+        for x, y in points)
+    last_x, last_y = points[-1]
+    return (
+        "<svg viewBox='0 0 %d %d' role='img'>"
+        "<polyline points='%s' fill='none' stroke='%s' stroke-width='2'/>"
+        "<text x='%.1f' y='%.1f' font-size='10' fill='#222' "
+        "text-anchor='end'>%d features @ run %d</text>"
+        "<text x='%.1f' y='%.1f' font-size='10' fill='#444'>runs -></text>"
+        "</svg>"
+        % (width, height + axis, coords, color,
+           width - pad, max(12.0, height - pad - last_y * scale_y - 6),
+           last_y, last_x, pad, height + 14))
+
+
+def _outcome_section(agg):
+    pairs = [(status, agg["outcomes"].get(status, 0))
+             for status in _STATUSES]
+    bars = "".join(
+        "<div class='chip' style='background:%s'>%s&nbsp;%d</div>"
+        % (_STATUS_COLORS[status], status, count)
+        for status, count in pairs)
+    rows = "".join(
+        "<tr><td>%s</td><td>%s</td><td>%d</td>%s</tr>"
+        % (html.escape(source["path"]), source["kind"], source["runs"],
+           "".join("<td>%d</td>" % source["counts"].get(status, 0)
+                   for status in _STATUSES))
+        for source in agg["sources"])
+    return (
+        "<h2>Outcome mix — %d runs</h2><div class='chips'>%s</div>"
+        "<table><tr><th>source</th><th>kind</th><th>runs</th>"
+        "<th>pass</th><th>fail</th><th>crashed</th><th>hung</th></tr>"
+        "%s</table>" % (agg["runs"], bars, rows))
+
+
+def _containment_section(agg):
+    stats = agg["containment_ms"]
+    if not stats["count"]:
+        return "<h2>Containment time</h2><p class='empty'>no recovery " \
+               "episodes observed</p>"
+    buckets = [(_bucket_label(bound), count)
+               for bound, count in stats["buckets"].items()]
+    return (
+        "<h2>Containment time — %d episodes</h2>"
+        "<p>p50=<b>%s ms</b> p95=<b>%s ms</b> p99=<b>%s ms</b> "
+        "mean=%s ms max=%s ms</p>%s"
+        % (stats["count"], stats["p50"], stats["p95"], stats["p99"],
+           stats["mean"], stats["max"],
+           _svg_bars(buckets, color="#1565c0")))
+
+
+def _bucket_label(bound):
+    value = float(bound)
+    return ("<=%g" % value) if value < 1024 else "<=%gk" % (value / 1024)
+
+
+def _availability_section(agg):
+    avail = agg["availability"]
+    if not avail.get("runs"):
+        return "<h2>Availability</h2><p class='empty'>no availability " \
+               "sections (records predate the availability layer)</p>"
+    mttr = avail.get("mttr_ms") or {}
+    mttr_html = ""
+    if mttr:
+        mttr_html = ("<p>MTTR: p50=<b>%s ms</b> p95=<b>%s ms</b> "
+                     "p99=<b>%s ms</b> mean=%s ms over %d repair(s)</p>"
+                     % (mttr.get("p50"), mttr.get("p95"), mttr.get("p99"),
+                        mttr.get("mean"), mttr.get("count")))
+    return (
+        "<h2>Availability — %d runs</h2>"
+        "<p>mean availability=<b>%s</b> min=%s, %d episode(s), "
+        "%d cell(s) ended down</p>%s"
+        % (avail["runs"], avail.get("availability_mean"),
+           avail.get("availability_min"), avail.get("episodes", 0),
+           avail.get("down_nodes", 0), mttr_html))
+
+
+def _blast_section(agg):
+    blast = agg["blast_radius"]
+    if not blast:
+        return "<h2>Blast radius</h2><p class='empty'>no forensic " \
+               "summaries in these records</p>"
+    pairs = [("%s node(s)" % radius, count)
+             for radius, count in sorted(blast.items(),
+                                         key=lambda kv: int(kv[0]))]
+    return ("<h2>Blast-radius distribution — %d audited fault(s)</h2>%s"
+            % (sum(blast.values()), _svg_bars(pairs, color="#c62828")))
+
+
+def _coverage_section(agg):
+    growth = agg["coverage_growth"]
+    if not growth:
+        return "<h2>Coverage growth</h2><p class='empty'>no fuzz " \
+               "sessions among the sources</p>"
+    return ("<h2>Coverage growth — %d fuzz runs</h2>%s"
+            % (growth[-1][0], _svg_line(growth, color="#2e7d32")))
+
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>%(title)s</title>
+<style>
+ body { font: 14px/1.5 -apple-system, "Segoe UI", sans-serif;
+        margin: 2em auto; max-width: 720px; color: #1a1a1a; }
+ h1 { font-size: 1.4em; border-bottom: 2px solid #1565c0;
+      padding-bottom: .3em; }
+ h2 { font-size: 1.1em; margin-top: 1.6em; }
+ table { border-collapse: collapse; margin: .6em 0; width: 100%%; }
+ th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left;
+          font-size: 13px; }
+ th { background: #f0f4f8; }
+ svg { width: 100%%; height: auto; background: #fafafa;
+       border: 1px solid #eee; }
+ .chips { margin: .4em 0; }
+ .chip { display: inline-block; color: #fff; border-radius: 3px;
+         padding: .15em .6em; margin-right: .4em; font-size: 13px; }
+ .empty { color: #777; font-style: italic; }
+ footer { margin-top: 2em; color: #777; font-size: 12px; }
+</style></head><body>
+<h1>%(title)s</h1>
+%(sections)s
+<footer>self-contained report — repro.cli report</footer>
+</body></html>
+"""
+
+
+def render_html(agg, title="Fault-containment fleet report"):
+    """The full self-contained HTML document for one aggregate."""
+    sections = "\n".join([
+        _outcome_section(agg),
+        _containment_section(agg),
+        _availability_section(agg),
+        _blast_section(agg),
+        _coverage_section(agg),
+    ])
+    return _PAGE % {"title": html.escape(title), "sections": sections}
+
+
+def write_report(paths, out_path, title="Fault-containment fleet report"):
+    """Aggregate ``paths`` and write the HTML report; returns the
+    aggregate."""
+    agg = aggregate(collect_sources(paths))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(agg, title=title))
+    return agg

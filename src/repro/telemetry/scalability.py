@@ -224,10 +224,54 @@ def _fmt(value):
     return "-" if value is None else "%.2f" % value
 
 
+def bench_meta():
+    """Provenance stamp for committed bench artifacts: git SHA + UTC time.
+
+    The SHA comes from ``git rev-parse HEAD`` when a work tree is
+    available, falling back to the ``GITHUB_SHA`` CI variable, then to
+    ``"unknown"`` — a bench JSON must stay writable from a tarball.
+    """
+    import datetime
+    import os
+    import subprocess
+    sha = None
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10.0, check=False).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha or os.environ.get("GITHUB_SHA") or "unknown",
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
 def write_bench_json(payload, path):
-    """Write the sweep payload as ``BENCH_scalability.json``."""
+    """Write a bench payload (``BENCH_*.json``), stamping provenance."""
     import json
+    payload.setdefault("meta", bench_meta())
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    return path
+
+
+def append_bench_history(payload, path):
+    """Append one compact JSONL line to the committed bench history.
+
+    The line keeps the headline figures only (benchmark name, provenance
+    meta, events/sec map or sublinear verdicts), so the history stays
+    reviewable in diffs while every CI run adds a point to the trend.
+    """
+    import json
+    line = {"benchmark": payload.get("benchmark"),
+            "meta": payload.get("meta") or bench_meta()}
+    for key in ("events_per_sec", "sublinear", "flight_overhead", "stats",
+                "coverage_features", "seed"):
+        if payload.get(key) is not None:
+            line[key] = payload[key]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
     return path

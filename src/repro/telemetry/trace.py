@@ -166,11 +166,21 @@ class Telemetry:
 
     ``Telemetry()`` enables both the event bus and the metrics registry;
     ``Telemetry(trace=False)`` keeps only metrics (cheap counters harvested
-    at the end of a run, nothing on the hot path).
+    at the end of a run, nothing on the hot path);
+    ``Telemetry(trace=False, flight=N)`` attaches a
+    :class:`~repro.telemetry.flight.FlightRecorder` instead — a bounded
+    ring keeping the *last* N events (the always-on campaign/fuzz mode:
+    full tracing off, but a failure still arrives with its tail window).
     """
 
-    def __init__(self, trace=True, max_events=None):
-        self.recorder = TraceRecorder(max_events=max_events) if trace else None
+    def __init__(self, trace=True, max_events=None, flight=None):
+        if flight is not None:
+            from repro.telemetry.flight import FlightRecorder
+            self.recorder = FlightRecorder(capacity=flight)
+        elif trace:
+            self.recorder = TraceRecorder(max_events=max_events)
+        else:
+            self.recorder = None
         from repro.telemetry.metrics import MetricsRegistry
         self.metrics = MetricsRegistry()
 

@@ -310,6 +310,36 @@ class TestTelemetryGuard:
         """, rel="coherence/protocol.py")
         assert findings == []
 
+    def test_unguarded_profiler_dispatch_flagged(self):
+        findings = lint_source("""
+            class Simulator:
+                def step(self, call):
+                    prof = self.profiler
+                    prof.dispatch(call.callback, call.args)
+        """, rel="sim/engine.py")
+        assert rules_of(findings) == ["telemetry-guard"]
+        assert "prof" in findings[0].message
+
+    def test_guarded_profiler_dispatch_allowed(self):
+        findings = lint_source("""
+            class Simulator:
+                def step(self, call):
+                    prof = self.profiler
+                    if prof is not None:
+                        prof.dispatch(call.callback, call.args)
+                    else:
+                        call.callback(*call.args)
+        """, rel="sim/engine.py")
+        assert findings == []
+
+    def test_unrelated_dispatch_receivers_ignored(self):
+        findings = lint_source("""
+            class Magic:
+                def handle(self, message):
+                    self.table.dispatch(message)
+        """, rel="node/magic.py")
+        assert findings == []
+
     def test_telemetry_package_is_exempt(self):
         findings = lint_source("""
             def replay(recorder, events):

@@ -1,0 +1,346 @@
+"""Fleet observability read/write sides: status sidecars, availability
+accounting, the aggregated report, and bench provenance stamps."""
+
+import json
+import os
+import re
+import types
+
+from repro.telemetry.availability import (
+    availability_from_reports,
+    format_availability,
+    merge_availability,
+)
+from repro.telemetry.report import (
+    aggregate,
+    collect_sources,
+    render_html,
+    write_report,
+)
+from repro.telemetry.scalability import (
+    append_bench_history,
+    bench_meta,
+    write_bench_json,
+)
+from repro.telemetry.status import (
+    StatusWriter,
+    format_status,
+    read_status,
+    status_sidecar_path,
+)
+
+# ---------------------------------------------------------------- status
+
+
+class TestStatusWriter:
+    def test_update_writes_readable_document(self, tmp_path):
+        path = str(tmp_path / "records.jsonl.status.json")
+        writer = StatusWriter(path, kind="campaign", total=10)
+        assert writer.update(done=3, counts={"pass": 3},
+                             in_flight=[{"run_index": 4,
+                                         "elapsed_s": 0.5}])
+        doc = read_status(path)
+        assert doc["kind"] == "campaign"
+        assert doc["total"] == 10 and doc["done"] == 3
+        assert doc["counts"] == {"pass": 3}
+        assert doc["in_flight"][0]["run_index"] == 4
+        assert doc["finished"] is False
+        assert doc["pid"] == os.getpid()
+
+    def test_updates_throttle_unless_forced_or_final(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        writer = StatusWriter(path, kind="fuzz", total=None,
+                              min_interval_s=3600.0)
+        assert writer.update(done=1)
+        assert not writer.update(done=2)        # inside the interval
+        assert read_status(path)["done"] == 1   # document untouched
+        assert writer.update(done=2, force=True)
+        assert writer.update(done=3, finished=True)
+        doc = read_status(path)
+        assert doc["done"] == 3 and doc["finished"] is True
+
+    def test_no_tmp_droppings_left_behind(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        StatusWriter(path, kind="fuzz").update(done=1)
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "status.json"]
+
+    def test_extras_round_trip(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        StatusWriter(path, kind="fuzz").update(
+            done=5, extras={"coverage_features": 41, "corpus_size": 7})
+        doc = read_status(path)
+        assert doc["extras"] == {"coverage_features": 41, "corpus_size": 7}
+
+    def test_format_status_renders_progress_and_counts(self, tmp_path):
+        path = str(tmp_path / "x.jsonl.status.json")
+        writer = StatusWriter(path, kind="campaign", total=8)
+        writer.update(done=8, counts={"pass": 7, "fail": 1}, finished=True)
+        text = format_status(read_status(path))
+        assert "campaign sweep [finished]" in text
+        assert "8/8" in text
+        assert "pass=7" in text and "fail=1" in text
+
+
+class TestSidecarResolution:
+    def test_directory_resolves_to_inner_status(self, tmp_path):
+        assert status_sidecar_path(str(tmp_path)) == str(
+            tmp_path / "status.json")
+
+    def test_records_path_gains_suffix(self):
+        assert status_sidecar_path("out/records.jsonl") == \
+            "out/records.jsonl.status.json"
+
+    def test_sidecar_paths_pass_through(self):
+        assert status_sidecar_path("a/b.jsonl.status.json") == \
+            "a/b.jsonl.status.json"
+        assert status_sidecar_path("session/status.json") == \
+            "session/status.json"
+
+    def test_read_status_absent_or_torn_is_none(self, tmp_path):
+        assert read_status(str(tmp_path / "nope.jsonl")) is None
+        torn = tmp_path / "torn.jsonl.status.json"
+        torn.write_text('{"kind": "campaign", "done"')
+        assert read_status(str(tmp_path / "torn.jsonl")) is None
+
+
+# ---------------------------------------------------------- availability
+
+
+def _report(trigger, complete, shutdown=(), restarts=0):
+    return types.SimpleNamespace(trigger_time=trigger,
+                                 complete_time=complete,
+                                 shutdown_nodes=list(shutdown),
+                                 restarts=restarts)
+
+
+class TestAvailability:
+    def test_single_episode_accounting(self):
+        # 4 nodes, 100ms window; one episode 10ms->30ms kills node 3.
+        summary = availability_from_reports(
+            [_report(10e6, 30e6, shutdown=[3])], window_ns=100e6,
+            num_nodes=4)
+        assert summary["episodes"] == 1
+        assert summary["downtime_ms"] == 20.0
+        per_node = summary["per_node"]
+        assert per_node["3"]["state"] == "down"
+        assert per_node["3"]["down_ms"] == 90.0     # from trigger onward
+        assert per_node["0"]["state"] == "up"
+        assert per_node["0"]["degraded_ms"] == 20.0
+        assert per_node["0"]["availability"] == 0.8
+        # Mean availability averages the three *surviving* nodes.
+        assert summary["availability"] == 0.8
+        assert summary["nodes"] == {"total": 4, "up": 3, "down": 1}
+        assert summary["mttr_ms"]["count"] == 1
+        assert summary["mttr_ms"]["mean"] == 20.0
+        assert summary["episode_durations_ms"] == [20.0]
+
+    def test_incomplete_episode_extends_to_window_end(self):
+        summary = availability_from_reports(
+            [_report(40e6, None)], window_ns=100e6, num_nodes=2)
+        assert summary["downtime_ms"] == 60.0
+        assert summary["episode_durations_ms"] == []   # never completed
+        assert "mttr_ms" not in summary
+        assert not summary["timeline"][0]["completed"]
+
+    def test_format_availability_renders(self):
+        summary = availability_from_reports(
+            [_report(10e6, 30e6)], window_ns=100e6, num_nodes=2)
+        text = format_availability(summary)
+        assert "availability: 0.8000" in text
+        assert "MTTR" in text and "2 up, 0 down of 2" in text
+
+    def test_merge_recomputes_percentiles_over_episodes(self):
+        runs = [
+            availability_from_reports([_report(0, 10e6)], 100e6, 2),
+            availability_from_reports([_report(0, 30e6),
+                                       _report(50e6, 90e6)], 100e6, 2),
+        ]
+        merged = merge_availability(runs)
+        assert merged["runs"] == 2
+        assert merged["episodes"] == 3
+        # Percentiles come from the raw durations {10, 30, 40} ms, not
+        # from averaging the two runs' own percentiles.
+        assert merged["mttr_ms"]["count"] == 3
+        assert merged["mttr_ms"]["p50"] <= merged["mttr_ms"]["p99"]
+        assert merged["availability_min"] <= merged["availability_mean"]
+
+    def test_merge_skips_empty_sections(self):
+        merged = merge_availability([None, {}, availability_from_reports(
+            [], 100e6, 2)])
+        assert merged["runs"] == 1
+        assert merged["episodes"] == 0
+
+
+# --------------------------------------------------------------- report
+
+
+def _campaign_record(status="pass", durations=(20.0,), blast=None):
+    record = {
+        "run_index": 0,
+        "status": status,
+        "metrics": {
+            "availability": {
+                "episodes": len(durations),
+                "availability": 0.9,
+                "nodes": {"total": 4, "up": 4, "down": 0},
+                "episode_durations_ms": list(durations),
+            },
+        },
+    }
+    if blast is not None:
+        record["forensics"] = {
+            "faults": [{"root": 0, "blast_nodes": list(blast)}]}
+    return record
+
+
+def _fuzz_record(run_index, new_features=(), containment_ns=(),
+                 status="pass"):
+    return {
+        "run_index": run_index,
+        "status": status,
+        "lineage": [],
+        "new_features": list(new_features),
+        "containment_ns": list(containment_ns),
+    }
+
+
+def _write_jsonl(path, records):
+    with open(str(path), "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestCollectSources:
+    def test_kind_sniffing(self, tmp_path):
+        campaign = tmp_path / "records.jsonl"
+        _write_jsonl(campaign, [_campaign_record()])
+        session = tmp_path / "session"
+        session.mkdir()
+        _write_jsonl(session / "records.jsonl", [_fuzz_record(0)])
+        fuzz_file = tmp_path / "fuzz.jsonl"
+        _write_jsonl(fuzz_file, [_fuzz_record(0)])
+
+        sources = collect_sources([str(campaign), str(session),
+                                   str(fuzz_file)])
+        assert [source["kind"] for source in sources] == [
+            "campaign", "fuzz", "fuzz"]
+        assert all(source["records"] for source in sources)
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text(json.dumps(_campaign_record()) + "\n"
+                        + '{"status": "pa')
+        (source,) = collect_sources([str(path)])
+        assert len(source["records"]) == 1
+
+
+class TestAggregate:
+    def test_full_aggregate(self, tmp_path):
+        campaign = tmp_path / "records.jsonl"
+        _write_jsonl(campaign, [
+            _campaign_record("pass", durations=(20.0,), blast=[1]),
+            _campaign_record("fail", durations=(35.0, 80.0), blast=[1, 2]),
+        ])
+        session = tmp_path / "session"
+        session.mkdir()
+        _write_jsonl(session / "records.jsonl", [
+            _fuzz_record(0, new_features=["a", "b"],
+                         containment_ns=(25e6,)),
+            _fuzz_record(1, new_features=["c"], status="hung"),
+        ])
+        agg = aggregate(collect_sources([str(campaign), str(session)]))
+
+        assert agg["runs"] == 4
+        assert agg["outcomes"] == {"pass": 2, "fail": 1, "crashed": 0,
+                                   "hung": 1}
+        # 3 availability episodes + 1 fuzz containment_ns fallback.
+        assert agg["containment_ms"]["count"] == 4
+        assert agg["containment_ms"]["p50"] is not None
+        assert agg["containment_ms"]["p50"] <= agg["containment_ms"]["p99"]
+        assert agg["availability"]["runs"] == 2
+        assert agg["availability"]["mttr_ms"]["count"] == 3
+        assert agg["blast_radius"] == {"1": 1, "2": 1}
+        assert agg["coverage_growth"] == [(1, 2), (2, 3)]
+
+    def test_pre_availability_records_fall_back_to_recovery(self,
+                                                           tmp_path):
+        path = tmp_path / "old.jsonl"
+        _write_jsonl(path, [{"status": "pass",
+                             "metrics": {"recovery": {"total_ms": 42.0}}}])
+        agg = aggregate(collect_sources([str(path)]))
+        assert agg["containment_ms"]["count"] == 1
+        assert agg["availability"]["runs"] == 0
+
+
+class TestRenderHtml:
+    def test_report_is_self_contained_with_all_sections(self, tmp_path):
+        campaign = tmp_path / "records.jsonl"
+        _write_jsonl(campaign, [_campaign_record(blast=[1, 2])])
+        session = tmp_path / "session"
+        session.mkdir()
+        _write_jsonl(session / "records.jsonl",
+                     [_fuzz_record(0, ["a"]), _fuzz_record(1, ["b"])])
+        out = tmp_path / "report.html"
+        agg = write_report([str(campaign), str(session)], str(out),
+                           title="smoke <report>")
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "smoke &lt;report&gt;" in text          # titles escaped
+        assert "Outcome mix" in text
+        assert "Containment time" in text
+        assert "Availability" in text
+        assert "Blast-radius distribution" in text
+        assert "Coverage growth" in text
+        assert "<svg" in text
+        # Self-contained: no external fetches of any kind.
+        assert "http://" not in text and "https://" not in text
+        assert agg["runs"] == 3
+
+    def test_empty_aggregate_renders_placeholders(self):
+        agg = aggregate([])
+        text = render_html(agg)
+        assert "no recovery episodes observed" in text
+        assert "no fuzz sessions" in text
+
+
+# ------------------------------------------------------ bench provenance
+
+
+class TestBenchProvenance:
+    def test_bench_meta_carries_sha_and_utc_timestamp(self):
+        meta = bench_meta()
+        # In this work tree the SHA must resolve; in CI GITHUB_SHA would.
+        assert re.fullmatch(r"[0-9a-f]{40}|unknown", meta["git_sha"])
+        assert meta["timestamp"].endswith("+00:00")
+
+    def test_write_bench_json_stamps_meta_once(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_bench_json({"benchmark": "x", "events_per_sec": {"a": 1}},
+                         path)
+        payload = json.loads(open(path).read())
+        assert payload["meta"]["git_sha"]
+        # An existing stamp is preserved, not overwritten.
+        write_bench_json({"benchmark": "x",
+                          "meta": {"git_sha": "pinned"}}, path)
+        assert json.loads(open(path).read())["meta"] == {
+            "git_sha": "pinned"}
+
+    def test_append_bench_history_keeps_headlines_only(self, tmp_path):
+        path = str(tmp_path / "BENCH_history.jsonl")
+        append_bench_history({"benchmark": "simcore",
+                              "events_per_sec": {"stream4": 100.0},
+                              "results": [{"huge": "blob"}] * 50,
+                              "flight_overhead": {"overhead": 0.01}},
+                             path)
+        append_bench_history({"benchmark": "scalability",
+                              "sublinear": {"ok": True}}, path)
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [line["benchmark"] for line in lines] == ["simcore",
+                                                         "scalability"]
+        assert "results" not in lines[0]            # compact, diffable
+        assert lines[0]["events_per_sec"] == {"stream4": 100.0}
+        assert lines[0]["flight_overhead"] == {"overhead": 0.01}
+        assert lines[1]["sublinear"] == {"ok": True}
+        assert all(line["meta"]["git_sha"] for line in lines)
